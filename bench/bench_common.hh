@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/table benchmark harnesses.
+ *
+ * Every bench binary accepts `key=value` overrides (see
+ * SimConfig::set) so the paper-scale network (k=16) can be requested
+ * explicitly: the default k=8 keeps the full suite fast while
+ * preserving every qualitative result.
+ */
+
+#ifndef CRNET_BENCH_BENCH_COMMON_HH
+#define CRNET_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/core/experiment.hh"
+#include "src/sim/config.hh"
+#include "src/sim/table.hh"
+
+namespace crnet::bench {
+
+/** The evaluation baseline network: 8-ary 2-cube torus, 16-flit msgs. */
+inline SimConfig
+baseConfig()
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 2;
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.messageLength = 16;
+    cfg.timeout = 8;  // message length / VCs, the paper's setting.
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 5000;
+    cfg.drainCycles = 60000;
+    cfg.seed = 20260706;
+    return cfg;
+}
+
+/** Offered loads swept by the latency/throughput figures. */
+inline std::vector<double>
+defaultLoads()
+{
+    return {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45,
+            0.50};
+}
+
+/** Format a latency for a cell ("-" once the point failed to drain). */
+inline std::string
+latencyCell(const RunResult& r)
+{
+    if (r.deadlocked)
+        return "deadlock";
+    if (!r.drained)
+        return ">" + Table::cell(r.avgLatency, 0) + "*";
+    return Table::cell(r.avgLatency, 1);
+}
+
+/** Print and also emit CSV below the table for post-processing. */
+inline void
+emit(const Table& table)
+{
+    table.print(std::cout);
+    std::cout << "\ncsv:\n";
+    table.printCsv(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace crnet::bench
+
+#endif // CRNET_BENCH_BENCH_COMMON_HH

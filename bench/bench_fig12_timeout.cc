@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Timeout sensitivity — average latency and kill rate vs. the
+ * source-timeout value (the knob Sec. 7's timeout-scheme discussion
+ * turns).
+ *
+ * Expected shape: very small timeouts misclassify ordinary congestion
+ * as potential deadlock and kill aggressively (latency inflated by
+ * retransmissions); very large timeouts leave true PDS undetected for
+ * long stretches (latency inflated by blocking). A broad sweet spot
+ * sits near the message service time.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+    using namespace crnet::bench;
+
+    SimConfig base = baseConfig();
+    base.applyArgs(argc, argv);
+
+    const std::vector<Cycle> timeouts = {4, 8, 16, 32, 64, 128, 256};
+    const std::vector<double> loads = {0.20, 0.35, 0.45};
+
+    Table t("Timeout sensitivity: avg latency (kills/msg) by source "
+            "timeout");
+    std::vector<std::string> header = {"timeout"};
+    for (double load : loads)
+        header.push_back("load_" + Table::cell(load, 2));
+    t.setHeader(header);
+
+    for (Cycle to : timeouts) {
+        std::vector<std::string> row = {Table::cell(std::uint64_t{to})};
+        for (double load : loads) {
+            SimConfig cfg = base;
+            cfg.timeout = to;
+            cfg.injectionRate = load;
+            const RunResult r = runExperiment(cfg);
+            row.push_back(latencyCell(r) + " (" +
+                          Table::cell(r.killsPerMessage, 2) + ")");
+        }
+        t.addRow(row);
+    }
+    emit(t);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sec. 6.2 — FCR performance under a range of transient fault rates.
+ *
+ * Expected shape: latency and delivered throughput degrade gracefully
+ * as the per-flit-hop fault rate grows (each detected fault costs one
+ * kill + one retransmission); corrupted deliveries stay at exactly
+ * zero at every rate — FCR's nonstop fault-tolerance guarantee. A CR
+ * column shows the contrast: same faults, corrupted data reaching
+ * software.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+    using namespace crnet::bench;
+
+    SimConfig base = baseConfig();
+    base.protocol = ProtocolKind::Fcr;
+    base.injectionRate = 0.15;
+    base.timeout = 32;
+    base.applyArgs(argc, argv);
+
+    const std::vector<double> rates = {0.0,    1e-5, 3e-5, 1e-4,
+                                       3e-4,   1e-3, 3e-3};
+
+    Table t("FCR under transient faults (load 0.15): latency, "
+            "retries, delivery integrity");
+    t.setHeader({"fault_rate", "FCR_lat", "FCR_thr", "attempts",
+                 "refusals", "FCR_corrupt_deliv", "CR_corrupt_deliv"});
+
+    for (double rate : rates) {
+        SimConfig fcr = base;
+        fcr.transientFaultRate = rate;
+        const RunResult rf = runExperiment(fcr);
+
+        SimConfig cr = base;
+        cr.protocol = ProtocolKind::Cr;
+        cr.transientFaultRate = rate;
+        const RunResult rc = runExperiment(cr);
+
+        t.addRow({Table::cell(rate, 5), latencyCell(rf),
+                  Table::cell(rf.acceptedThroughput, 3),
+                  Table::cell(rf.avgAttempts, 3),
+                  Table::cell(rf.refusals),
+                  Table::cell(rf.corruptedDeliveries),
+                  Table::cell(rc.corruptedDeliveries)});
+    }
+    emit(t);
+    std::printf("expected shape: FCR corrupted deliveries = 0 at every "
+                "rate; latency grows\ngracefully; plain CR lets "
+                "corrupted messages through.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FCR with permanent link faults: performance and delivery as dead
+ * links accumulate.
+ *
+ * Expected shape: latency rises gently with the number of dead links
+ * (paths lengthen, retries around blocked minimal routes appear) and
+ * every message is still delivered uncorrupted — FCR's permanent
+ * fault tolerance via adaptive retry + bounded misrouting.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+    using namespace crnet::bench;
+
+    SimConfig base = baseConfig();
+    base.protocol = ProtocolKind::Fcr;
+    base.injectionRate = 0.10;
+    base.timeout = 32;
+    base.misrouteAfterRetries = 2;
+    base.misrouteBudget = 4;
+    base.applyArgs(argc, argv);
+
+    const std::vector<std::uint32_t> fault_counts = {0, 1, 2, 4, 8,
+                                                     12};
+
+    Table t("FCR with permanent link faults (load 0.10)");
+    t.setHeader({"dead_links", "avg_lat", "p99_lat", "attempts",
+                 "kills", "misroute_hops", "delivered", "failed",
+                 "corrupt"});
+
+    for (auto faults : fault_counts) {
+        SimConfig cfg = base;
+        cfg.permanentLinkFaults = faults;
+        const RunResult r = runExperiment(cfg);
+        SimConfig probe = cfg;  // Re-derive misroute count directly.
+        t.addRow({Table::cell(std::uint64_t{faults}), latencyCell(r),
+                  Table::cell(r.p99Latency, 0),
+                  Table::cell(r.avgAttempts, 3),
+                  Table::cell(r.totalKills),
+                  Table::cell(r.misrouteHops),
+                  Table::cell(r.deliveredMeasured),
+                  Table::cell(r.measuredMessages - r.deliveredMeasured),
+                  Table::cell(r.corruptedDeliveries)});
+        (void)probe;
+    }
+    emit(t);
+    std::printf("expected shape: graceful latency growth, zero "
+                "failures, zero corruption;\nmisrouting appears once "
+                "faults block whole minimal-path sets.\n");
+    return 0;
+}

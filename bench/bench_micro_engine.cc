@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation engine itself:
+ * how fast do the primitives and the whole-network tick run. These
+ * guard the simulator's own performance (a slow engine quietly
+ * shrinks every experiment).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/network.hh"
+#include "src/sim/checksum.hh"
+#include "src/sim/rng.hh"
+
+namespace {
+
+using namespace crnet;
+
+void
+BM_RngNext(benchmark::State& state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngBelow(benchmark::State& state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(13));
+}
+BENCHMARK(BM_RngBelow);
+
+void
+BM_Crc8(benchmark::State& state)
+{
+    std::uint64_t x = 0x0123456789abcdefULL;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crc8(x));
+        ++x;
+    }
+}
+BENCHMARK(BM_Crc8);
+
+void
+BM_NetworkTickIdle(benchmark::State& state)
+{
+    SimConfig cfg;
+    cfg.radixK = static_cast<std::uint32_t>(state.range(0));
+    cfg.dimensionsN = 2;
+    cfg.injectionRate = 0.0;
+    Network net(cfg);
+    net.setTrafficEnabled(false);
+    for (auto _ : state)
+        net.tick();
+    state.SetItemsProcessed(state.iterations() *
+                            cfg.numNodes());
+}
+BENCHMARK(BM_NetworkTickIdle)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_NetworkTickLoaded(benchmark::State& state)
+{
+    SimConfig cfg;
+    cfg.radixK = static_cast<std::uint32_t>(state.range(0));
+    cfg.dimensionsN = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.3;
+    Network net(cfg);
+    net.run(500);  // Warm the network up to steady state.
+    for (auto _ : state)
+        net.tick();
+    state.SetItemsProcessed(state.iterations() * cfg.numNodes());
+}
+BENCHMARK(BM_NetworkTickLoaded)->Arg(8)->Arg(16);
+
+void
+BM_RouterTickBusy(benchmark::State& state)
+{
+    // One router under synthetic pressure: heads keep arriving.
+    SimConfig cfg;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    TorusTopology topo(8, 2);
+    FaultModel faults(topo, 0.0, Rng(1));
+    MinimalAdaptiveRouting algo(topo, faults, cfg.numVcs);
+    RouterStats stats;
+    Router router(9, cfg, algo, &stats, Rng(2));
+    Cycle now = 0;
+    MsgId msg = 0;
+    for (auto _ : state) {
+        if (router.vcIdle(0, 0)) {
+            Flit h;
+            h.type = FlitType::Head;
+            h.msg = ++msg;
+            h.dst = 12;
+            router.acceptFlit(0, 0, h);
+        }
+        router.tick(now++);
+        for (const SentFlit& f : router.sentFlits) {
+            if (f.outPort < router.networkPorts())
+                router.acceptCredit(f.outPort, f.vc);
+        }
+        // Terminate worms immediately: feed tails.
+        if (!router.vcIdle(0, 0)) {
+            Flit t;
+            t.type = FlitType::Tail;
+            t.msg = msg;
+            t.seq = 1;
+            t.dst = 12;
+            router.acceptFlit(0, 0, t);
+        }
+    }
+}
+BENCHMARK(BM_RouterTickBusy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation-complexity table (paper Sec. 5): router cycle time
+ * and area for CR and the alternatives, from the structural cost
+ * model after Chien's router cost model.
+ *
+ * Expected shape: the CR router (1 VC, adaptive, kill support) cycles
+ * as fast as — or faster than — the 2-VC dateline DOR router, and
+ * clearly faster than VC-rich adaptive designs (Duato 3VC/8VC); CR's
+ * extra logic lands in area (router control + NIC), not on the
+ * data-path cycle time.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/cost/router_cost.hh"
+#include "src/sim/table.hh"
+
+int
+main()
+{
+    using namespace crnet;
+
+    struct Design
+    {
+        const char* name;
+        RouterCostParams p;
+    };
+
+    auto mk = [](RoutingKind r, std::uint32_t vcs, ProtocolKind prot,
+                 std::uint32_t depth = 2) {
+        RouterCostParams p;
+        p.dims = 2;
+        p.numVcs = vcs;
+        p.bufferDepth = depth;
+        p.flitBits = 16;
+        p.routing = r;
+        p.protocol = prot;
+        return p;
+    };
+
+    const Design designs[] = {
+        {"DOR mesh (1 VC)",
+         mk(RoutingKind::DimensionOrder, 1, ProtocolKind::None)},
+        {"DOR torus (2 VC dateline)",
+         mk(RoutingKind::DimensionOrder, 2, ProtocolKind::None)},
+        {"DOR torus (2 VC, 16-deep FIFO)",
+         mk(RoutingKind::DimensionOrder, 2, ProtocolKind::None, 16)},
+        {"CR adaptive (1 VC)",
+         mk(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Cr)},
+        {"CR adaptive (2 VC)",
+         mk(RoutingKind::MinimalAdaptive, 2, ProtocolKind::Cr)},
+        {"FCR adaptive (1 VC)",
+         mk(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Fcr)},
+        {"Duato adaptive (3 VC)",
+         mk(RoutingKind::Duato, 3, ProtocolKind::None)},
+        {"Duato adaptive (8 VC)",
+         mk(RoutingKind::Duato, 8, ProtocolKind::None)},
+        {"Turn-model west-first (1 VC)",
+         mk(RoutingKind::WestFirst, 1, ProtocolKind::None)},
+    };
+
+    Table t("Router implementation complexity (structural model "
+            "after Chien [7])");
+    t.setHeader({"design", "route", "vc_alloc", "switch", "flow",
+                 "cycle", "cycle_ns", "router_gates", "nic_gates"});
+    for (const Design& d : designs) {
+        const RouterCost c = estimateRouterCost(d.p);
+        t.addRow({d.name, Table::cell(c.routingDelay, 1),
+                  Table::cell(c.vcAllocDelay, 1),
+                  Table::cell(c.switchDelay, 1),
+                  Table::cell(c.flowControlDelay, 1),
+                  Table::cell(c.cycleTime, 1),
+                  Table::cell(c.cycleTimeNs, 2),
+                  Table::cell(c.routerGates, 0),
+                  Table::cell(c.nicGates, 0)});
+    }
+    t.print(std::cout);
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    std::printf("\nexpected shape: CR (1 VC) cycle <= DOR torus (2 VC) "
+                "cycle < Duato 3VC < Duato 8VC;\nCR/FCR costs appear "
+                "as area (router control, NIC), not cycle time.\n");
+    return 0;
+}

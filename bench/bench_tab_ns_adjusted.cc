@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cycle-time-adjusted comparison — the paper's actual argument,
+ * assembled from both halves of this repo: the simulator gives
+ * latency in router cycles, the cost model gives the cycle time each
+ * router design can clock at. Multiplying them compares what the
+ * designs deliver in *nanoseconds*.
+ *
+ * Expected shape (the paper's claim): CR beats DOR in wall-clock
+ * terms everywhere past low load, because its router clocks slightly
+ * faster AND it routes adaptively.
+ *
+ * Honest extension: against Duato's 3-VC adaptive router (which the
+ * paper argued would lose on clock speed), our simulator shows Duato
+ * holding a wide winning band even after paying ~40% on the clock —
+ * CR's padding and kill/retry costs outweigh the VC-allocation delay
+ * at these VC counts. That is, in miniature, why VC-based deadlock
+ * *prevention* ultimately superseded kill-based *recovery*; see
+ * EXPERIMENTS.md.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/cost/router_cost.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+    using namespace crnet::bench;
+
+    SimConfig base = baseConfig();
+    base.applyArgs(argc, argv);
+
+    struct Design
+    {
+        const char* name;
+        RoutingKind routing;
+        ProtocolKind protocol;
+        std::uint32_t vcs;
+    };
+    const Design designs[] = {
+        {"CR_2vc", RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 2},
+        {"DOR_2vc", RoutingKind::DimensionOrder, ProtocolKind::None,
+         2},
+        {"Duato_3vc", RoutingKind::Duato, ProtocolKind::None, 3},
+    };
+
+    // Cycle time per design from the structural cost model.
+    double ns_per_cycle[3];
+    for (int i = 0; i < 3; ++i) {
+        RouterCostParams p;
+        p.dims = base.dimensionsN;
+        p.numVcs = designs[i].vcs;
+        p.bufferDepth = base.bufferDepth;
+        p.routing = designs[i].routing;
+        p.protocol = designs[i].protocol;
+        ns_per_cycle[i] = estimateRouterCost(p).cycleTimeNs;
+    }
+
+    Table t("Cycle-time-adjusted latency (ns) — simulator cycles x "
+            "cost-model clock");
+    t.setHeader({"load", "CR_2vc(3.5ns)", "DOR_2vc(4.2ns)",
+                 "Duato_3vc(4.9ns)", "best"});
+    for (double load : defaultLoads()) {
+        std::vector<std::string> row = {Table::cell(load, 2)};
+        double best = 1e18;
+        int best_i = -1;
+        for (int i = 0; i < 3; ++i) {
+            SimConfig cfg = base;
+            cfg.routing = designs[i].routing;
+            cfg.protocol = designs[i].protocol;
+            cfg.numVcs = designs[i].vcs;
+            cfg.injectionRate = load;
+            if (designs[i].protocol == ProtocolKind::Cr)
+                cfg.timeout = 32;  // CR's best setting (see E2).
+            const RunResult r = runExperiment(cfg);
+            if (!r.drained || r.deadlocked) {
+                row.push_back("sat");
+                continue;
+            }
+            const double ns = r.avgLatency * ns_per_cycle[i];
+            row.push_back(Table::cell(ns, 0));
+            if (ns < best) {
+                best = ns;
+                best_i = i;
+            }
+        }
+        row.push_back(best_i < 0 ? "-" : designs[best_i].name);
+        t.addRow(row);
+    }
+    emit(t);
+    std::printf("expected shape: CR beats DOR in ns past low load "
+                "(the paper's claim).\nHonest extension: Duato's 3-VC "
+                "router survives its clock penalty here —\nthe "
+                "history-shaped caveat EXPERIMENTS.md discusses.\n");
+    return 0;
+}

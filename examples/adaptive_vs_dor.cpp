@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Head-to-head: adaptive Compressionless Routing vs dimension-order
+ * routing with equal resources, across traffic patterns — the
+ * scenario the paper's introduction motivates (adaptive routing pays
+ * off most on non-uniform traffic, and CR provides it without
+ * virtual-channel cost).
+ *
+ *   ./adaptive_vs_dor [key=value ...]
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+
+    SimConfig base;
+    base.topology = TopologyKind::Torus;
+    base.radixK = 8;
+    base.dimensionsN = 2;
+    base.numVcs = 2;
+    base.bufferDepth = 2;
+    base.messageLength = 16;
+    base.timeout = 8;
+    base.warmupCycles = 1000;
+    base.measureCycles = 5000;
+    base.hotspotFraction = 0.05;  // 20% melts any 8x8 sink.
+    base.applyArgs(argc, argv);
+
+    const TrafficPattern patterns[] = {TrafficPattern::Uniform,
+                                       TrafficPattern::Transpose,
+                                       TrafficPattern::BitComplement,
+                                       TrafficPattern::Tornado,
+                                       TrafficPattern::Hotspot};
+
+    std::printf("%-16s %6s  %12s  %12s  %9s\n", "pattern", "load",
+                "CR latency", "DOR latency", "CR gain");
+    for (TrafficPattern p : patterns) {
+        for (double load : {0.10, 0.20, 0.30}) {
+            SimConfig cr = base;
+            cr.pattern = p;
+            cr.injectionRate = load;
+            cr.routing = RoutingKind::MinimalAdaptive;
+            cr.protocol = ProtocolKind::Cr;
+            const RunResult rc = runExperiment(cr);
+
+            SimConfig dor = cr;
+            dor.routing = RoutingKind::DimensionOrder;
+            dor.protocol = ProtocolKind::None;
+            const RunResult rd = runExperiment(dor);
+
+            auto fmt = [](const RunResult& r) {
+                return r.drained ? r.avgLatency : -1.0;
+            };
+            const double lc = fmt(rc), ld = fmt(rd);
+            char gain[32];
+            if (lc > 0 && ld > 0)
+                std::snprintf(gain, sizeof gain, "%8.2fx", ld / lc);
+            else
+                std::snprintf(gain, sizeof gain, "%9s", "sat");
+            std::printf("%-16s %6.2f  %12.1f  %12.1f  %s\n",
+                        toString(p).c_str(), load, lc, ld, gain);
+        }
+    }
+    std::printf(
+        "\n(-1.0 marks saturated points that did not drain.)\n"
+        "Reading: CR wins big where adaptivity helps (uniform and "
+        "transpose near\nsaturation); DOR keeps an edge at low load "
+        "(CR pays padding) and on\nbit-complement, whose "
+        "diameter-length paths maximize CR's pad overhead —\nthe "
+        "trade the paper's padding analysis predicts.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * All-to-all personalized exchange — the collective every
+ * message-passing runtime builds on. Each node sends one message to
+ * every other node; the run is complete when every node has received
+ * from everyone.
+ *
+ * Why it showcases CR: the exchange floods the network far past any
+ * sustainable load, creating potential deadlock situations by the
+ * hundreds; CR absorbs all of them with kill/retry while the software
+ * layer above needs no sequence numbers, acknowledgements or
+ * retransmission buffers — exactly the "simpler software
+ * communication layers" the paper's conclusion claims.
+ *
+ *   ./all_to_all [key=value ...]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/network.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.messageLength = 16;
+    cfg.timeout = 8;
+    cfg.maxPendingPerNode = 1u << 20;  // The exchange queues N-1 each.
+    cfg.applyArgs(argc, argv);
+    cfg.validate();
+
+    Network net(cfg);
+    net.setTrafficEnabled(false);
+    const NodeId n = net.topology().numNodes();
+
+    // Queue the full exchange. Staggered destination order (src+1,
+    // src+2, ...) is the classic schedule that avoids everyone
+    // hammering node 0 first.
+    std::vector<MsgId> ids;
+    ids.reserve(static_cast<std::size_t>(n) * (n - 1));
+    for (NodeId src = 0; src < n; ++src)
+        for (NodeId step = 1; step < n; ++step)
+            ids.push_back(net.sendMessage(src, (src + step) % n,
+                                          cfg.messageLength));
+    std::printf("all-to-all on %u nodes: %zu messages of %u flits\n",
+                n, ids.size(), cfg.messageLength);
+
+    const Cycle limit = 3000000;
+    std::size_t done = 0;
+    while (done < ids.size() && net.now() < limit) {
+        net.run(1000);
+        done = 0;
+        for (MsgId id : ids)
+            done += net.isDelivered(id);
+        if (net.now() % 10000 == 0) {
+            std::printf("  t=%-8llu delivered %zu/%zu (kills so far: "
+                        "%llu)\n",
+                        static_cast<unsigned long long>(net.now()),
+                        done, ids.size(),
+                        static_cast<unsigned long long>(
+                            net.stats().sourceKills.value()));
+        }
+    }
+    if (done != ids.size()) {
+        std::printf("FAILED: only %zu/%zu delivered\n", done,
+                    ids.size());
+        return 1;
+    }
+
+    const NetworkStats& s = net.stats();
+    const double flits = static_cast<double>(ids.size()) *
+                         cfg.messageLength;
+    std::printf("\ncomplete at cycle %llu\n",
+                static_cast<unsigned long long>(net.now()));
+    std::printf("  effective bandwidth  %.3f payload flits/node/"
+                "cycle\n",
+                flits / static_cast<double>(n) /
+                    static_cast<double>(net.now()));
+    std::printf("  deadlocks recovered  %llu kills (%.2f per "
+                "message)\n",
+                static_cast<unsigned long long>(
+                    s.sourceKills.value()),
+                static_cast<double>(s.sourceKills.value()) /
+                    static_cast<double>(ids.size()));
+    std::printf("  order violations     %llu, duplicates %llu, "
+                "corrupted %llu\n",
+                static_cast<unsigned long long>(
+                    s.orderViolations.value()),
+                static_cast<unsigned long long>(
+                    s.duplicateDeliveries.value()),
+                static_cast<unsigned long long>(
+                    s.corruptedDeliveries.value()));
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The motivating demonstration: fully adaptive wormhole routing on a
+ * torus with no virtual channels deadlocks under load; the identical
+ * network under Compressionless Routing keeps running, because the
+ * source detects every potential deadlock as an injection stall and
+ * kills/retries the worm.
+ *
+ *   ./deadlock_demo [key=value ...]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/network.hh"
+
+namespace {
+
+crnet::SimConfig
+baseConfig()
+{
+    crnet::SimConfig cfg;
+    cfg.topology = crnet::TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 1;
+    cfg.bufferDepth = 2;
+    cfg.routing = crnet::RoutingKind::MinimalAdaptive;
+    cfg.injectionRate = 0.8;
+    cfg.messageLength = 32;
+    cfg.timeout = 32;
+    cfg.deadlockThreshold = 2000;
+    cfg.seed = 12345;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+
+    std::printf("8x8 torus, minimal fully-adaptive routing, 1 VC, "
+                "heavy load (0.8 flits/node/cycle)\n\n");
+
+    {
+        SimConfig cfg = baseConfig();
+        cfg.protocol = ProtocolKind::None;
+        cfg.applyArgs(argc, argv);
+        Network net(cfg);
+        std::printf("[plain wormhole]     running");
+        bool deadlocked = false;
+        while (!deadlocked && net.now() < 50000) {
+            net.run(2500);
+            std::printf(".");
+            std::fflush(stdout);
+            deadlocked = net.deadlocked();
+        }
+        if (deadlocked) {
+            std::printf("\n[plain wormhole]     DEADLOCK at cycle "
+                        "%llu: no flit has moved for %llu cycles; "
+                        "%llu messages delivered, then silence.\n",
+                        static_cast<unsigned long long>(net.now()),
+                        static_cast<unsigned long long>(
+                            cfg.deadlockThreshold),
+                        static_cast<unsigned long long>(
+                            net.stats().messagesDelivered.value()));
+            std::printf("\nWhere the worms wedged:\n");
+            net.dumpOccupancy(std::cout);
+        } else {
+            std::printf("\n[plain wormhole]     survived %llu cycles "
+                        "(try a higher load or another seed)\n",
+                        static_cast<unsigned long long>(net.now()));
+        }
+    }
+
+    {
+        SimConfig cfg = baseConfig();
+        cfg.protocol = ProtocolKind::Cr;
+        cfg.applyArgs(argc, argv);
+        Network net(cfg);
+        std::printf("\n[compressionless]    running");
+        for (int epoch = 0; epoch < 20; ++epoch) {
+            net.run(2500);
+            std::printf(".");
+            std::fflush(stdout);
+            if (net.deadlocked()) {
+                std::printf("\n[compressionless]    unexpected "
+                            "deadlock — this is a bug\n");
+                return 1;
+            }
+        }
+        const NetworkStats& s = net.stats();
+        std::printf("\n[compressionless]    healthy after %llu "
+                    "cycles: %llu delivered, %llu potential "
+                    "deadlocks detected and recovered (kills), "
+                    "0 lost.\n",
+                    static_cast<unsigned long long>(net.now()),
+                    static_cast<unsigned long long>(
+                        s.messagesDelivered.value()),
+                    static_cast<unsigned long long>(
+                        s.sourceKills.value()));
+    }
+    return 0;
+}

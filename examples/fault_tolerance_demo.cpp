@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fault-tolerant Compressionless Routing in action: transient flit
+ * corruption and hard link failures, end to end.
+ *
+ * Scenario 1: a noisy network (random per-flit-hop corruption). FCR
+ * detects every hit at the receiver, withholds flow control, lets the
+ * source timeout kill the worm, and retransmits — nothing corrupted
+ * is ever delivered. Plain CR on the same network delivers garbage.
+ *
+ * Scenario 2: a link is cut mid-run between two explicit messages.
+ * Retries route adaptively around the dead link (with bounded
+ * misrouting when every minimal first hop is gone).
+ *
+ *   ./fault_tolerance_demo [key=value ...]
+ */
+
+#include <cstdio>
+
+#include "src/core/network.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+
+    // --- Scenario 1: transient noise -------------------------------
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Fcr;
+    cfg.injectionRate = 0.1;
+    cfg.messageLength = 16;
+    cfg.timeout = 32;
+    cfg.transientFaultRate = 5e-4;
+    cfg.applyArgs(argc, argv);
+
+    std::printf("scenario 1: transient faults at %.0e per flit-hop, "
+                "load %.2f\n\n",
+                cfg.transientFaultRate, cfg.injectionRate);
+    for (ProtocolKind proto : {ProtocolKind::Fcr, ProtocolKind::Cr}) {
+        SimConfig c = cfg;
+        c.protocol = proto;
+        Network net(c);
+        net.run(20000);
+        const NetworkStats& s = net.stats();
+        std::printf("  [%s] faults injected %llu | delivered %llu | "
+                    "corrupted deliveries %llu | retries %llu\n",
+                    toString(proto).c_str(),
+                    static_cast<unsigned long long>(
+                        net.faults().corruptionsInjected()),
+                    static_cast<unsigned long long>(
+                        s.messagesDelivered.value()),
+                    static_cast<unsigned long long>(
+                        s.corruptedDeliveries.value()),
+                    static_cast<unsigned long long>(
+                        s.sourceKills.value()));
+    }
+
+    // --- Scenario 2: a hard link failure ---------------------------
+    std::printf("\nscenario 2: cutting both x-links out of node 0, "
+                "then sending 0 -> 4\n\n");
+    SimConfig hard = cfg;
+    hard.transientFaultRate = 0.0;
+    hard.injectionRate = 0.0;
+    hard.misrouteAfterRetries = 2;
+    hard.misrouteBudget = 4;
+    hard.backoff = BackoffScheme::Static;
+    hard.backoffGap = 8;
+    Network net(hard);
+    net.setTrafficEnabled(false);
+
+    const MsgId before = net.sendMessage(0, 4, 16);
+    while (!net.isDelivered(before))
+        net.tick();
+    std::printf("  before the cut: delivered in %llu cycles, "
+                "%u attempt(s)\n",
+                static_cast<unsigned long long>(
+                    net.deliveryRecord(before)->deliveredAt -
+                    net.deliveryRecord(before)->createdAt),
+                net.deliveryRecord(before)->attempts);
+
+    // Node 4 = (4,0): distance 4 in +x or -x. Cut both x-links at
+    // node 0 so NO minimal first hop survives.
+    net.faults().killDirectedLink(0, makePort(0, Direction::Plus));
+    net.faults().killDirectedLink(0, makePort(0, Direction::Minus));
+
+    const MsgId after = net.sendMessage(0, 4, 16);
+    Cycle guard = net.now() + 100000;
+    while (!net.isDelivered(after) && net.now() < guard)
+        net.tick();
+    if (!net.isDelivered(after)) {
+        std::printf("  after the cut: NOT delivered — bug\n");
+        return 1;
+    }
+    const DeliveredMessage* d = net.deliveryRecord(after);
+    std::printf("  after the cut:  delivered in %llu cycles, "
+                "%u attempt(s), %llu misroute hops — the retry went "
+                "around via y\n",
+                static_cast<unsigned long long>(d->deliveredAt -
+                                                d->createdAt),
+                d->attempts,
+                static_cast<unsigned long long>(
+                    net.stats().router.misrouteHops.value()));
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: build a Compressionless-Routing torus, send a few
+ * messages through the public API, and run some synthetic traffic.
+ *
+ *   ./quickstart [preset=<name>] [key=value ...]
+ *   e.g. ./quickstart k=16 load=0.2
+ *        ./quickstart preset=fcr_noisy
+ */
+
+#include <cstdio>
+
+#include "src/core/experiment.hh"
+#include "src/core/network.hh"
+#include "src/core/presets.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace crnet;
+
+    // 1. Describe the network: an 8-ary 2-cube torus running fully
+    //    adaptive minimal routing with NO virtual channels — the
+    //    configuration that plain wormhole routing cannot run without
+    //    deadlocking. Compressionless Routing makes it safe.
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 1;
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.2;
+    cfg.messageLength = 16;
+    cfg.timeout = 16;
+    cfg = configFromArgs(cfg, argc, argv);
+    cfg.validate();
+    std::printf("network: %s\n\n", cfg.summary().c_str());
+
+    // 2. Point-to-point messages through the explicit API.
+    Network net(cfg);
+    net.setTrafficEnabled(false);
+    const MsgId a = net.sendMessage(0, 27, 16);
+    const MsgId b = net.sendMessage(5, 60, 16);
+    while (!net.isDelivered(a) || !net.isDelivered(b))
+        net.tick();
+    for (MsgId id : {a, b}) {
+        const DeliveredMessage* d = net.deliveryRecord(id);
+        std::printf("message %llu: %u -> %u, latency %llu cycles, "
+                    "%u attempt(s)\n",
+                    static_cast<unsigned long long>(id), d->src,
+                    d->dst,
+                    static_cast<unsigned long long>(d->deliveredAt -
+                                                    d->createdAt),
+                    d->attempts);
+    }
+
+    // 3. Steady-state synthetic traffic through the experiment
+    //    harness: warmup, measure, drain, summarize.
+    const RunResult r = runExperiment(cfg);
+    std::printf("\nuniform traffic at %.2f flits/node/cycle:\n",
+                r.offeredLoad);
+    std::printf("  avg latency       %.1f cycles (p99 %.0f)\n",
+                r.avgLatency, r.p99Latency);
+    std::printf("  accepted load     %.3f payload flits/node/cycle\n",
+                r.acceptedThroughput);
+    std::printf("  kills per message %.4f (CR deadlock recovery)\n",
+                r.killsPerMessage);
+    std::printf("  pad overhead      %.1f%% of wire flits\n",
+                100.0 * r.padOverhead);
+    std::printf("  order violations  %llu, duplicates %llu\n",
+                static_cast<unsigned long long>(r.orderViolations),
+                static_cast<unsigned long long>(
+                    r.duplicateDeliveries));
+    return 0;
+}

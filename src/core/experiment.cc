@@ -1,0 +1,142 @@
+#include "src/core/experiment.hh"
+
+#include <cmath>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+RunResult
+summarize(const Network& net, bool drained, Cycle cycles)
+{
+    const NetworkStats& s = net.stats();
+    const SimConfig& cfg = net.config();
+    RunResult r;
+    r.offeredLoad = cfg.injectionRate;
+    r.measuredMessages = net.measuredCreated();
+    r.deliveredMeasured = s.measuredDelivered.value();
+    r.avgLatency = s.totalLatency.mean();
+    r.netLatency = s.netLatency.mean();
+    r.latencyStddev = s.totalLatency.stddev();
+    r.maxLatency = s.totalLatency.max();
+    r.p50Latency = s.latencyHist.percentile(0.50);
+    r.p95Latency = s.latencyHist.percentile(0.95);
+    r.p99Latency = s.latencyHist.percentile(0.99);
+    r.avgAttempts = s.attempts.mean();
+    r.totalKills = s.sourceKills.value() +
+                   s.router.pathWideKills.value();
+    r.pathWideKills = s.router.pathWideKills.value();
+    r.killsPerMessage = r.deliveredMeasured
+        ? static_cast<double>(r.totalKills) /
+              static_cast<double>(s.messagesDelivered.value() + 1)
+        : 0.0;
+    r.padOverhead = s.padOverhead.mean();
+    r.escapeAllocations = s.router.escapeAllocations.value();
+    r.misrouteHops = s.router.misrouteHops.value();
+    r.corruptions = net.config().transientFaultRate > 0.0
+        ? s.refusals.value() + s.corruptedDeliveries.value()
+        : 0;
+    r.corruptedDeliveries = s.corruptedDeliveries.value();
+    r.orderViolations = s.orderViolations.value();
+    r.duplicateDeliveries = s.duplicateDeliveries.value();
+    r.refusals = s.refusals.value();
+    r.deadlocked = net.deadlocked();
+    r.drained = drained;
+    r.cyclesRun = cycles;
+    if (cfg.measureCycles > 0) {
+        r.acceptedThroughput =
+            static_cast<double>(s.measuredPayloadFlits.value()) /
+            (static_cast<double>(net.topology().numNodes()) *
+             static_cast<double>(cfg.measureCycles));
+    }
+    return r;
+}
+
+RunResult
+runExperiment(const SimConfig& cfg)
+{
+    Network net(cfg);
+
+    // Warmup: traffic flows, nothing is tagged.
+    net.setMeasuring(false);
+    net.run(cfg.warmupCycles);
+
+    // Measurement window.
+    net.setMeasuring(true);
+    net.run(cfg.measureCycles);
+    net.setMeasuring(false);
+
+    // Drain: keep offered load applied; wait for tagged messages.
+    bool drained = net.measuredDrained();
+    Cycle spent = 0;
+    while (!drained && spent < cfg.drainCycles && !net.deadlocked()) {
+        net.run(256);
+        spent += 256;
+        drained = net.measuredDrained();
+    }
+    return summarize(net, drained, net.now());
+}
+
+std::vector<RunResult>
+sweepLoads(SimConfig cfg, const std::vector<double>& loads)
+{
+    std::vector<RunResult> out;
+    out.reserve(loads.size());
+    for (double load : loads) {
+        cfg.injectionRate = load;
+        out.push_back(runExperiment(cfg));
+    }
+    return out;
+}
+
+ReplicatedResult
+runReplicated(SimConfig cfg, std::uint32_t replications)
+{
+    if (replications == 0)
+        fatal("runReplicated needs at least one replication");
+    Accumulator lat, thr, kills;
+    ReplicatedResult out;
+    out.replications = replications;
+    for (std::uint32_t i = 0; i < replications; ++i) {
+        cfg.seed = cfg.seed + (i == 0 ? 0 : 1);
+        const RunResult r = runExperiment(cfg);
+        lat.add(r.avgLatency);
+        thr.add(r.acceptedThroughput);
+        kills.add(r.killsPerMessage);
+        out.allDrained = out.allDrained && r.drained;
+        out.anyDeadlock = out.anyDeadlock || r.deadlocked;
+    }
+    const double root_n = std::sqrt(static_cast<double>(replications));
+    out.meanLatency = lat.mean();
+    out.latencyCi95 = 1.96 * lat.stddev() / root_n;
+    out.meanThroughput = thr.mean();
+    out.throughputCi95 = 1.96 * thr.stddev() / root_n;
+    out.meanKillsPerMessage = kills.mean();
+    return out;
+}
+
+double
+findSaturationLoad(SimConfig cfg, double lo, double hi,
+                   double tolerance, double latency_cap)
+{
+    if (lo >= hi)
+        fatal("findSaturationLoad: lo must be < hi");
+    auto healthy = [&](double load) {
+        cfg.injectionRate = load;
+        const RunResult r = runExperiment(cfg);
+        return r.drained && !r.deadlocked &&
+               r.avgLatency < latency_cap;
+    };
+    if (!healthy(lo))
+        return lo;
+    while (hi - lo > tolerance) {
+        const double mid = (lo + hi) / 2.0;
+        if (healthy(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace crnet

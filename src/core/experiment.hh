@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment harness: warmup / measure / drain phases over a Network,
+ * producing one RunResult per configuration point.
+ *
+ * Methodology (standard interconnect practice, matching the paper's
+ * simulation setup): the generator runs open loop; messages created
+ * during the measurement window are tagged; after the window the
+ * simulation keeps running (load still applied) until every tagged
+ * message is delivered, the drain budget runs out (saturated), or the
+ * deadlock watchdog fires.
+ */
+
+#ifndef CRNET_CORE_EXPERIMENT_HH
+#define CRNET_CORE_EXPERIMENT_HH
+
+#include <vector>
+
+#include "src/core/metrics.hh"
+#include "src/core/network.hh"
+#include "src/sim/config.hh"
+
+namespace crnet {
+
+/** Run one configuration to completion and summarize it. */
+RunResult runExperiment(const SimConfig& cfg);
+
+/** Run the same configuration at several offered loads. */
+std::vector<RunResult> sweepLoads(SimConfig cfg,
+                                  const std::vector<double>& loads);
+
+/**
+ * Binary-search the saturation load: the highest offered load (within
+ * `tolerance`) at which the network still drains and average latency
+ * stays below `latency_cap`.
+ */
+double findSaturationLoad(SimConfig cfg, double lo, double hi,
+                          double tolerance = 0.01,
+                          double latency_cap = 2000.0);
+
+/** Extract a RunResult from a finished network (shared summarizer). */
+RunResult summarize(const Network& net, bool drained, Cycle cycles);
+
+/** Mean and spread over independent replications of one config. */
+struct ReplicatedResult
+{
+    std::uint32_t replications = 0;
+    double meanLatency = 0.0;
+    double latencyCi95 = 0.0;     //!< Half-width, normal approx.
+    double meanThroughput = 0.0;
+    double throughputCi95 = 0.0;
+    double meanKillsPerMessage = 0.0;
+    bool allDrained = true;
+    bool anyDeadlock = false;
+};
+
+/**
+ * Run `replications` independent runs (seeds seed, seed+1, ...) and
+ * aggregate. The 95% intervals use the normal approximation
+ * 1.96 * s / sqrt(n); with the default n=5 they are indicative, not
+ * exact.
+ */
+ReplicatedResult runReplicated(SimConfig cfg,
+                               std::uint32_t replications = 5);
+
+} // namespace crnet
+
+#endif // CRNET_CORE_EXPERIMENT_HH

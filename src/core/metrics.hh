@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Central statistics block shared by injectors, receivers and routers
+ * of one network, plus the per-run result record the experiment
+ * harness reports.
+ */
+
+#ifndef CRNET_CORE_METRICS_HH
+#define CRNET_CORE_METRICS_HH
+
+#include <cstdint>
+
+#include "src/router/router.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace crnet {
+
+/** Everything the simulation counts, in one place. */
+struct NetworkStats
+{
+    RouterStats router;
+
+    // --- Source side ------------------------------------------------
+    Counter messagesGenerated;
+    Counter messagesMeasured;
+    Counter sourceQueueDrops;     //!< Generator arrivals that found a
+                                  //!< full source queue.
+    Counter flitsInjected;
+    Counter padFlitsInjected;
+    Counter sourceKills;          //!< Source-timeout kills.
+    Counter abortedByBkill;       //!< Worms torn down from within.
+    Counter messagesCommitted;    //!< Tails injected (CR commit).
+    Counter messagesFailed;       //!< Gave up after max retries.
+    Counter measuredFailed;       //!< ... of which were measured.
+
+    // --- Sink side -----------------------------------------------------
+    Counter messagesDelivered;
+    Counter measuredDelivered;
+    Counter corruptedDeliveries;  //!< Delivered with bad payload
+                                  //!< (must stay 0 under FCR).
+    Counter orderViolations;      //!< pairSeq gaps at delivery.
+    Counter duplicateDeliveries;  //!< pairSeq repeats at delivery.
+    Counter refusals;             //!< FCR receiver error refusals.
+    Counter staleAttemptFlits;    //!< Consumed flits of superseded
+                                  //!< attempts (kill/retry races).
+    Counter flitsConsumed;
+    Counter padFlitsConsumed;
+    Counter measuredPayloadFlits; //!< Payload flits of measured msgs.
+
+    // --- Measured-message latency -------------------------------------
+    Accumulator totalLatency;     //!< Creation -> tail delivered.
+    Accumulator netLatency;       //!< Last head injection -> delivered.
+    Accumulator attempts;         //!< Attempts per delivered message.
+    Accumulator padOverhead;      //!< Pad flits / wire flits per msg.
+    Histogram latencyHist{8.0, 4096};  //!< Total latency, 8-cycle bins.
+};
+
+/** Aggregate outcome of one simulated configuration. */
+struct RunResult
+{
+    double offeredLoad = 0.0;      //!< Flits/node/cycle offered.
+    double acceptedThroughput = 0.0;  //!< Measured payload
+                                      //!< flits/node/cycle delivered.
+    double avgLatency = 0.0;
+    double netLatency = 0.0;
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    double maxLatency = 0.0;
+    double latencyStddev = 0.0;
+    double avgAttempts = 0.0;
+    double killsPerMessage = 0.0;
+    double padOverhead = 0.0;      //!< Mean pad fraction of the wire.
+    std::uint64_t measuredMessages = 0;
+    std::uint64_t deliveredMeasured = 0;
+    std::uint64_t totalKills = 0;
+    std::uint64_t pathWideKills = 0;
+    std::uint64_t escapeAllocations = 0;  //!< Duato PDS proxy.
+    std::uint64_t misrouteHops = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t corruptedDeliveries = 0;
+    std::uint64_t orderViolations = 0;
+    std::uint64_t duplicateDeliveries = 0;
+    std::uint64_t refusals = 0;
+    bool deadlocked = false;
+    bool drained = false;          //!< All measured msgs delivered.
+    Cycle cyclesRun = 0;
+};
+
+} // namespace crnet
+
+#endif // CRNET_CORE_METRICS_HH

@@ -1,0 +1,337 @@
+#include "src/core/network.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+void
+Network::Wave::clear()
+{
+    flits.clear();
+    recvFlits.clear();
+    credits.clear();
+    injCredits.clear();
+    bkills.clear();
+    aborts.clear();
+}
+
+bool
+Network::Wave::empty() const
+{
+    return flits.empty() && recvFlits.empty() && credits.empty() &&
+           injCredits.empty() && bkills.empty() && aborts.empty();
+}
+
+Network::Network(const SimConfig& cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    buckets_.resize(cfg_.channelLatency + 2);
+    Rng root(cfg_.seed);
+
+    topo_ = makeTopology(cfg_);
+    faults_ = std::make_unique<FaultModel>(
+        *topo_, cfg_.transientFaultRate, root.fork());
+    if (cfg_.permanentLinkFaults > 0)
+        faults_->injectPermanentFaults(cfg_.permanentLinkFaults);
+    routing_ = makeRouting(cfg_, *topo_, *faults_);
+    generator_ = std::make_unique<TrafficGenerator>(cfg_, *topo_,
+                                                    root.fork());
+
+    const NodeId n = topo_->numNodes();
+    routers_.reserve(n);
+    injectors_.reserve(n);
+    receivers_.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+        routers_.push_back(std::make_unique<Router>(
+            id, cfg_, *routing_, &stats_.router, root.fork()));
+        injectors_.push_back(std::make_unique<Injector>(
+            id, cfg_, *topo_, *routing_, &stats_, root.fork()));
+        receivers_.push_back(std::make_unique<Receiver>(
+            id, cfg_, n, &stats_, this));
+    }
+}
+
+Network::~Network() = default;
+
+Network::Wave&
+Network::waveIn(Cycle delay)
+{
+    return buckets_[(now_ + delay) % buckets_.size()];
+}
+
+void
+Network::deliver()
+{
+    Wave& cur = buckets_[now_ % buckets_.size()];
+    for (PendingFlit& p : cur.flits) {
+        if (p.networkHop && p.flit.isData())
+            faults_->maybeCorrupt(p.flit);
+        routers_[p.node]->acceptFlit(p.inPort, p.vc, p.flit);
+    }
+    for (const PendingRecvFlit& p : cur.recvFlits)
+        receivers_[p.node]->acceptFlit(p.ejChannel, p.vc, p.flit);
+    for (const PendingCredit& p : cur.credits)
+        routers_[p.node]->acceptCredit(p.outPort, p.vc);
+    for (const PendingInjCredit& p : cur.injCredits)
+        injectors_[p.node]->acceptCredit(p.injChannel, p.vc);
+    for (const PendingBkill& p : cur.bkills)
+        routers_[p.node]->acceptBkill(p.outPort, p.vc);
+    for (const PendingAbort& p : cur.aborts)
+        injectors_[p.node]->acceptAbort(p.injChannel, p.vc, p.msg);
+    cur.clear();
+}
+
+void
+Network::generate()
+{
+    if (!trafficEnabled_)
+        return;
+    const NodeId n = topo_->numNodes();
+    for (NodeId src = 0; src < n; ++src) {
+        if (!generator_->drawArrival())
+            continue;
+        if (injectors_[src]->queueFull()) {
+            // Offered but not accepted; the pair sequence number is
+            // not allocated, so receivers never see a phantom gap.
+            stats_.sourceQueueDrops.inc();
+            continue;
+        }
+        const PendingMessage msg =
+            generator_->makeFor(src, now_, measuring_);
+        injectors_[src]->enqueue(msg);
+        stats_.messagesGenerated.inc();
+        if (msg.measured) {
+            stats_.messagesMeasured.inc();
+            ++measuredCreated_;
+        }
+    }
+}
+
+void
+Network::collectInjector(NodeId n)
+{
+    Injector& inj = *injectors_[n];
+    for (const InjectedFlit& f : inj.sent) {
+        waveIn(1).flits.push_back(PendingFlit{
+            n,
+            static_cast<PortId>(routers_[n]->injBase() + f.injChannel),
+            f.vc, f.flit, false});
+    }
+}
+
+void
+Network::collectRouter(NodeId n)
+{
+    Router& r = *routers_[n];
+    const PortId net_ports = r.networkPorts();
+
+    for (const SentFlit& s : r.sentFlits) {
+        if (s.outPort < net_ports) {
+            const NodeId nbr = topo_->neighbor(n, s.outPort);
+            if (nbr == kInvalidNode)
+                panic("router ", n, " sent a flit off the network via "
+                      "port ", s.outPort);
+            waveIn(cfg_.channelLatency).flits.push_back(PendingFlit{
+                nbr, oppositePort(s.outPort), s.vc, s.flit, true});
+        } else {
+            waveIn(1).recvFlits.push_back(PendingRecvFlit{
+                n, static_cast<std::uint32_t>(s.outPort - r.ejBase()),
+                s.vc, s.flit});
+        }
+    }
+
+    for (const SentCredit& c : r.sentCredits) {
+        if (c.inPort < net_ports) {
+            const NodeId upstream = topo_->neighbor(n, c.inPort);
+            if (upstream == kInvalidNode)
+                panic("credit to a nonexistent upstream at node ", n);
+            waveIn(cfg_.channelLatency).credits.push_back(
+                PendingCredit{upstream, oppositePort(c.inPort),
+                              c.vc});
+        } else {
+            waveIn(1).injCredits.push_back(PendingInjCredit{
+                n, static_cast<std::uint32_t>(c.inPort - r.injBase()),
+                c.vc});
+        }
+    }
+
+    for (const SentBkill& b : r.sentBkills) {
+        if (b.inPort >= net_ports)
+            panic("backward kill to an injection port must be an "
+                  "abort");
+        const NodeId upstream = topo_->neighbor(n, b.inPort);
+        if (upstream == kInvalidNode)
+            panic("backward kill to a nonexistent upstream at node ",
+                  n);
+        waveIn(cfg_.channelLatency).bkills.push_back(PendingBkill{
+            upstream, oppositePort(b.inPort), b.vc});
+    }
+
+    for (const SentAbort& a : r.sentAborts)
+        waveIn(1).aborts.push_back(PendingAbort{n, a.injChannel, a.vc,
+                                                a.msg});
+}
+
+void
+Network::collectReceiver(NodeId n)
+{
+    Receiver& rcv = *receivers_[n];
+    for (const ReceiverCredit& c : rcv.credits) {
+        waveIn(1).credits.push_back(PendingCredit{
+            n, static_cast<PortId>(routers_[n]->ejBase() + c.ejChannel),
+            c.vc});
+    }
+}
+
+std::uint64_t
+Network::activityLevel() const
+{
+    return stats_.router.flitsForwarded.value() +
+           stats_.router.killsForwarded.value() +
+           stats_.router.bkillHops.value() +
+           stats_.router.flitsPurged.value() +
+           stats_.flitsInjected.value() +
+           stats_.flitsConsumed.value();
+}
+
+void
+Network::tick()
+{
+    deliver();
+    generate();
+
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        injectors_[id]->tick(now_);
+        collectInjector(id);
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        routers_[id]->tick(now_);
+        collectRouter(id);
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        receivers_[id]->tick(now_);
+        collectReceiver(id);
+    }
+
+    const std::uint64_t level = activityLevel();
+    if (level != lastActivityLevel_) {
+        lastActivityLevel_ = level;
+        lastActivity_ = now_;
+    }
+    ++now_;
+}
+
+void
+Network::run(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        tick();
+}
+
+MsgId
+Network::sendMessage(NodeId src, NodeId dst, std::uint32_t payload_len,
+                     bool measured)
+{
+    if (src >= topo_->numNodes() || dst >= topo_->numNodes())
+        fatal("sendMessage: node out of range");
+    if (injectors_[src]->queueFull())
+        return kInvalidMsg;  // Before a pair sequence is allocated.
+    PendingMessage m = generator_->makeMessage(src, dst, payload_len,
+                                               now_, measured);
+    injectors_[src]->enqueue(m);
+    stats_.messagesGenerated.inc();
+    if (measured) {
+        stats_.messagesMeasured.inc();
+        ++measuredCreated_;
+    }
+    manualPending_[m.id] = true;
+    return m.id;
+}
+
+bool
+Network::isDelivered(MsgId id) const
+{
+    return manualDelivered_.count(id) != 0;
+}
+
+const DeliveredMessage*
+Network::deliveryRecord(MsgId id) const
+{
+    auto it = manualDelivered_.find(id);
+    return it == manualDelivered_.end() ? nullptr : &it->second;
+}
+
+void
+Network::onDelivered(const DeliveredMessage& msg)
+{
+    auto it = manualPending_.find(msg.id);
+    if (it != manualPending_.end()) {
+        manualDelivered_[msg.id] = msg;
+        manualPending_.erase(it);
+    }
+}
+
+bool
+Network::deadlocked() const
+{
+    if (quiescent())
+        return false;
+    return now_ - lastActivity_ > cfg_.deadlockThreshold;
+}
+
+bool
+Network::quiescent() const
+{
+    for (const Wave& w : buckets_)
+        if (!w.empty())
+            return false;
+    for (const auto& inj : injectors_)
+        if (!inj->idle())
+            return false;
+    for (const auto& r : routers_)
+        if (!r->idle())
+            return false;
+    for (const auto& rcv : receivers_)
+        if (!rcv->idle())
+            return false;
+    return true;
+}
+
+void
+Network::dumpOccupancy(std::ostream& os) const
+{
+    os << "buffer occupancy at cycle " << now_ << " (flits per "
+       << "router):\n";
+    if (cfg_.dimensionsN == 2) {
+        const std::uint32_t k = cfg_.radixK;
+        // Row y printed top-down so the grid reads like a map.
+        for (std::uint32_t yy = k; yy-- > 0;) {
+            os << "  y=" << std::setw(2) << yy << " |";
+            for (std::uint32_t xx = 0; xx < k; ++xx) {
+                const NodeId id = xx + yy * k;
+                os << std::setw(4) << routers_[id]->bufferedFlits();
+            }
+            os << "\n";
+        }
+        return;
+    }
+    for (NodeId id = 0; id < topo_->numNodes(); ++id) {
+        const std::uint64_t n = routers_[id]->bufferedFlits();
+        if (n > 0)
+            os << "  node " << id << ": " << n << "\n";
+    }
+}
+
+bool
+Network::measuredDrained() const
+{
+    return stats_.measuredDelivered.value() +
+               stats_.measuredFailed.value() >=
+           measuredCreated_;
+}
+
+} // namespace crnet

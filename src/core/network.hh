@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The assembled network: topology + routers + NICs + traffic + faults,
+ * advanced one cycle at a time.
+ *
+ * Cycle model: every channel (router-router, injection, ejection) has
+ * one cycle of latency. Each tick delivers everything sent last cycle,
+ * lets injectors/routers/receivers compute, then stages their output
+ * for the next delivery. All credit and kill signaling rides the same
+ * one-cycle channels.
+ */
+
+#ifndef CRNET_CORE_NETWORK_HH
+#define CRNET_CORE_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/metrics.hh"
+#include "src/fault/fault_model.hh"
+#include "src/nic/injector.hh"
+#include "src/nic/receiver.hh"
+#include "src/router/router.hh"
+#include "src/routing/routing.hh"
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/topology/topology.hh"
+#include "src/traffic/generator.hh"
+
+namespace crnet {
+
+/** A complete simulated network. */
+class Network : public DeliverySink
+{
+  public:
+    /** Build a network from a validated configuration. */
+    explicit Network(const SimConfig& cfg);
+    ~Network() override;
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Advance `n` cycles. */
+    void run(Cycle n);
+
+    Cycle now() const { return now_; }
+
+    // --- Workload control -------------------------------------------
+
+    /** Enable/disable the synthetic traffic generator. */
+    void setTrafficEnabled(bool on) { trafficEnabled_ = on; }
+
+    /** Mark newly generated messages as measured (stats window). */
+    void setMeasuring(bool on) { measuring_ = on; }
+
+    /**
+     * Send one explicit message (examples/tests). Returns its id, or
+     * kInvalidMsg if the source queue was full. Delivery of explicit
+     * messages can be queried with isDelivered()/deliveryRecord().
+     */
+    MsgId sendMessage(NodeId src, NodeId dst,
+                      std::uint32_t payload_len, bool measured = true);
+
+    bool isDelivered(MsgId id) const;
+
+    /** Delivery record of an explicit message (null until arrival). */
+    const DeliveredMessage* deliveryRecord(MsgId id) const;
+
+    // --- State queries -------------------------------------------------
+
+    /**
+     * True when no flit has moved anywhere for deadlockThreshold
+     * cycles while work remains — the watchdog that detects true
+     * wormhole deadlock (used by the no-protocol demo).
+     */
+    bool deadlocked() const;
+
+    /** No queued, in-flight or partially assembled message anywhere. */
+    bool quiescent() const;
+
+    /** All measured messages accounted for (delivered or failed). */
+    bool measuredDrained() const;
+
+    const NetworkStats& stats() const { return stats_; }
+    NetworkStats& stats() { return stats_; }
+    const SimConfig& config() const { return cfg_; }
+    const Topology& topology() const { return *topo_; }
+    FaultModel& faults() { return *faults_; }
+    const RoutingAlgorithm& routing() const { return *routing_; }
+    Injector& injector(NodeId n) { return *injectors_[n]; }
+    Receiver& receiver(NodeId n) { return *receivers_[n]; }
+    Router& router(NodeId n) { return *routers_[n]; }
+    TrafficGenerator& generator() { return *generator_; }
+
+    /** Messages counted into the measurement window. */
+    std::uint64_t measuredCreated() const { return measuredCreated_; }
+
+    /**
+     * Write an ASCII buffer-occupancy heatmap (2D topologies render
+     * as a grid, others as a list). Each cell is the number of flits
+     * buffered in that node's router — after a deadlock this shows
+     * the wedged worm cycle directly.
+     */
+    void dumpOccupancy(std::ostream& os) const;
+
+    // DeliverySink
+    void onDelivered(const DeliveredMessage& msg) override;
+
+  private:
+    // Staged (next-cycle) deliveries.
+    struct PendingFlit
+    {
+        NodeId node;
+        PortId inPort;
+        VcId vc;
+        Flit flit;
+        bool networkHop;  //!< Router-to-router (fault-eligible).
+    };
+    struct PendingRecvFlit
+    {
+        NodeId node;
+        std::uint32_t ejChannel;
+        VcId vc;
+        Flit flit;
+    };
+    struct PendingCredit
+    {
+        NodeId node;
+        PortId outPort;
+        VcId vc;
+    };
+    struct PendingInjCredit
+    {
+        NodeId node;
+        std::uint32_t injChannel;
+        VcId vc;
+    };
+    struct PendingBkill
+    {
+        NodeId node;
+        PortId outPort;
+        VcId vc;
+    };
+    struct PendingAbort
+    {
+        NodeId node;
+        std::uint32_t injChannel;
+        VcId vc;
+        MsgId msg;
+    };
+
+    struct Wave
+    {
+        std::vector<PendingFlit> flits;
+        std::vector<PendingRecvFlit> recvFlits;
+        std::vector<PendingCredit> credits;
+        std::vector<PendingInjCredit> injCredits;
+        std::vector<PendingBkill> bkills;
+        std::vector<PendingAbort> aborts;
+
+        void clear();
+        bool empty() const;
+    };
+
+    void deliver();
+    void generate();
+    void collectInjector(NodeId n);
+    void collectRouter(NodeId n);
+    void collectReceiver(NodeId n);
+    std::uint64_t activityLevel() const;
+
+    /** Wave that events maturing `delay` cycles from now go into. */
+    Wave& waveIn(Cycle delay);
+
+    SimConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<FaultModel> faults_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    NetworkStats stats_;
+    std::unique_ptr<TrafficGenerator> generator_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Injector>> injectors_;
+    std::vector<std::unique_ptr<Receiver>> receivers_;
+
+    /**
+     * Delivery buckets, indexed by cycle modulo size. Router-to-
+     * router events mature after channelLatency cycles; NIC-local
+     * events after one.
+     */
+    std::vector<Wave> buckets_;
+
+    Cycle now_ = 0;
+    bool trafficEnabled_ = true;
+    bool measuring_ = false;
+    std::uint64_t measuredCreated_ = 0;
+
+    Cycle lastActivity_ = 0;
+    std::uint64_t lastActivityLevel_ = 0;
+
+    /** Explicit-send tracking. */
+    std::unordered_map<MsgId, DeliveredMessage> manualDelivered_;
+    std::unordered_map<MsgId, bool> manualPending_;
+};
+
+} // namespace crnet
+
+#endif // CRNET_CORE_NETWORK_HH

@@ -1,0 +1,130 @@
+#include "src/cost/router_cost.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace crnet {
+
+namespace {
+
+/** ceil(log2 k) for k >= 1. */
+double
+lg(std::uint32_t k)
+{
+    if (k <= 1)
+        return 0.0;
+    return std::ceil(std::log2(static_cast<double>(k)));
+}
+
+/** Arbiter over k requesters: priority tree plus grant latch. */
+double
+arbiter(std::uint32_t k)
+{
+    return k <= 1 ? 0.0 : 1.0 + lg(k);
+}
+
+/** k-input multiplexer. */
+double
+mux(std::uint32_t k)
+{
+    return lg(k);
+}
+
+} // namespace
+
+RouterCost
+estimateRouterCost(const RouterCostParams& p)
+{
+    RouterCost c;
+    const std::uint32_t phys_ports = 2 * p.dims + 1;  // + injection.
+    const std::uint32_t vcs = std::max<std::uint32_t>(1, p.numVcs);
+    const std::uint32_t switch_inputs = phys_ports;
+
+    // --- Routing decision ------------------------------------------
+    // Address compare per dimension (2 units) feeding the candidate
+    // select. Deterministic DOR picks one port (priority encode over
+    // dims); adaptive relations select among all productive ports.
+    switch (p.routing) {
+      case RoutingKind::DimensionOrder:
+        c.routingDelay = 2.0 + lg(p.dims) + 1.0;
+        break;
+      case RoutingKind::MinimalAdaptive:
+        c.routingDelay = 2.0 + arbiter(2 * p.dims);
+        break;
+      case RoutingKind::Duato:
+        // Adaptive select plus the escape-eligibility check in
+        // series.
+        c.routingDelay = 2.0 + arbiter(2 * p.dims) + 2.0;
+        break;
+      case RoutingKind::WestFirst:
+      case RoutingKind::NegativeFirst:
+        c.routingDelay = 2.0 + arbiter(2 * p.dims) + 1.0;
+        break;
+    }
+
+    // --- VC allocation ------------------------------------------------
+    // With one VC per channel this stage vanishes: the output either
+    // is free or is not. With V VCs every output channel arbitrates
+    // among (ports * V) possible claimants and the winner's state
+    // machine updates.
+    c.vcAllocDelay = vcs == 1 ? 0.0
+                              : arbiter(switch_inputs * vcs) + 1.0;
+
+    // --- Switch traversal ------------------------------------------------
+    // Crossbar input mux per output plus VC mux onto the channel.
+    c.switchDelay = mux(switch_inputs) + mux(vcs) + 1.0;
+
+    // --- Flow control -------------------------------------------------------
+    // Credit decrement/test; with VCs, per-VC credit state must be
+    // selected first. CR's kill detection adds control logic off this
+    // path (purge and token forward happen in parallel with the
+    // normal pipeline), so it shows up in area only.
+    c.flowControlDelay = 2.0 + mux(vcs);
+
+    c.cycleTime = std::max({c.routingDelay, c.vcAllocDelay,
+                            c.switchDelay, c.flowControlDelay});
+    c.cycleTimeNs = 0.7 * c.cycleTime;
+
+    // --- Area ------------------------------------------------------------
+    // Buffers: 6 gate equivalents per storage bit.
+    const double buffer_gates = 6.0 * p.flitBits * p.bufferDepth *
+                                vcs * phys_ports;
+    // Crossbar: pass gates per crosspoint times channel width.
+    const double xbar_gates = 1.5 * p.flitBits * switch_inputs *
+                              (2.0 * p.dims + 1.0);
+    // Control: routing + arbiters + per-VC state (~25 gates per VC
+    // state machine), plus CR kill/purge control when present.
+    double control_gates = 150.0 + 25.0 * vcs * phys_ports;
+    if (p.protocol != ProtocolKind::None)
+        control_gates += 40.0 * phys_ports;  // Kill token handling.
+    c.routerGates = buffer_gates + xbar_gates + control_gates;
+
+    // --- NIC extras --------------------------------------------------------
+    // CR: pad counter + distance calculator + stall counter + backoff
+    // LFSR. FCR adds per-flit CRC generators/checkers.
+    switch (p.protocol) {
+      case ProtocolKind::None:
+        c.nicGates = 0.0;
+        break;
+      case ProtocolKind::Cr:
+        c.nicGates = 220.0;
+        break;
+      case ProtocolKind::Fcr:
+        c.nicGates = 220.0 + 8.0 * p.flitBits;
+        break;
+    }
+    return c;
+}
+
+std::string
+costLabel(const RouterCostParams& p)
+{
+    std::ostringstream os;
+    os << toString(p.routing) << "-" << p.numVcs << "vc";
+    if (p.protocol != ProtocolKind::None)
+        os << "+" << toString(p.protocol);
+    return os.str();
+}
+
+} // namespace crnet

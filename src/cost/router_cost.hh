@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structural router delay/area model, after Chien's cost and
+ * performance model for k-ary n-cube wormhole routers [7].
+ *
+ * The paper's implementation argument (Sec. 5) is that CR routers stay
+ * close to dimension-order routers in complexity because deadlock
+ * freedom needs no virtual channels, while VC-based adaptive schemes
+ * (Duato, Linder-Harden, planar-adaptive) pay for VC allocation and
+ * wider crossbars on the critical path. We reproduce that comparison
+ * with a gate-level structural model:
+ *
+ *   - every primitive has a delay in gate units (one unit ~0.7 ns in
+ *     the 0.8um gate-array technology the original model targeted);
+ *   - an arbiter over k requesters costs 1 + ceil(log2 k) units;
+ *   - a k-input multiplexer costs ceil(log2 k) units;
+ *   - the router cycle time is the slowest of the routing-decision,
+ *     VC-allocation, switch-traversal and flow-control stages;
+ *   - area is estimated in gate equivalents, dominated by buffers.
+ *
+ * CR's kill handling sits on the control path (purge + token forward)
+ * and adds area but no data-path delay, which is the paper's claim;
+ * the injector/receiver additions (pad counter, I_min adder, timeout
+ * counter, backoff LFSR) are reported separately as NIC gates.
+ */
+
+#ifndef CRNET_COST_ROUTER_COST_HH
+#define CRNET_COST_ROUTER_COST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/config.hh"
+
+namespace crnet {
+
+/** What to cost out. */
+struct RouterCostParams
+{
+    std::uint32_t dims = 2;         //!< Network dimensionality n.
+    std::uint32_t numVcs = 1;       //!< VCs per physical channel.
+    std::uint32_t bufferDepth = 2;  //!< Flits per VC buffer.
+    std::uint32_t flitBits = 16;    //!< Physical channel width.
+    RoutingKind routing = RoutingKind::MinimalAdaptive;
+    ProtocolKind protocol = ProtocolKind::Cr;
+};
+
+/** Delay/area estimate. */
+struct RouterCost
+{
+    double routingDelay = 0.0;    //!< Gate units.
+    double vcAllocDelay = 0.0;
+    double switchDelay = 0.0;
+    double flowControlDelay = 0.0;
+    double cycleTime = 0.0;       //!< Max of the stages, gate units.
+    double cycleTimeNs = 0.0;     //!< Same, at 0.7 ns per unit.
+    double routerGates = 0.0;     //!< Router area estimate.
+    double nicGates = 0.0;        //!< Injector+receiver extras.
+};
+
+/** Estimate one design point. */
+RouterCost estimateRouterCost(const RouterCostParams& params);
+
+/** Short label used by the complexity table ("CR", "DOR-2VC", ...). */
+std::string costLabel(const RouterCostParams& params);
+
+} // namespace crnet
+
+#endif // CRNET_COST_ROUTER_COST_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fault injection for FCR evaluation.
+ *
+ * Two fault classes, matching the paper's Section 6.2 evaluation:
+ *
+ *  - Transient faults: each flit-hop traversal independently corrupts
+ *    the flit with probability `transientFaultRate`. Corruption
+ *    scrambles the payload (so the CRC fails) and sets the detection
+ *    flag the receiver logic keys on.
+ *  - Permanent faults: whole physical links (both directions) are dead
+ *    from cycle 0. Routing algorithms query linkOk() and never route a
+ *    header over a dead link; flits already modeled as traversing a
+ *    link that dies mid-flight do not occur because permanent faults
+ *    are injected before the simulation starts.
+ *
+ * The permanent-fault chooser keeps every node at a minimum healthy
+ * degree so the network stays usable (the paper likewise assumes the
+ * fault pattern leaves the network connected).
+ */
+
+#ifndef CRNET_FAULT_FAULT_MODEL_HH
+#define CRNET_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/router/flit.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+#include "src/topology/topology.hh"
+
+namespace crnet {
+
+/** Link-fault and flit-corruption model. */
+class FaultModel
+{
+  public:
+    /**
+     * @param topo Topology (for link enumeration / endpoints).
+     * @param transient_rate P(corruption) per flit-hop.
+     * @param rng Dedicated random stream.
+     */
+    FaultModel(const Topology& topo, double transient_rate, Rng rng);
+
+    /**
+     * Kill `count` random physical links (both directions). Links are
+     * rejected if killing them would leave an endpoint with fewer than
+     * `min_degree` healthy network ports.
+     */
+    void injectPermanentFaults(std::uint32_t count,
+                               std::uint32_t min_degree = 2);
+
+    /** Kill one specific directed channel (tests, targeted scenarios). */
+    void killDirectedLink(NodeId node, PortId port);
+
+    /** Health of the directed channel leaving `node` through `port`. */
+    bool linkOk(NodeId node, PortId port) const;
+
+    /**
+     * Possibly corrupt a flit traversing one hop. Returns true when a
+     * fault was injected this call.
+     */
+    bool maybeCorrupt(Flit& flit);
+
+    std::uint64_t corruptionsInjected() const { return corruptions_; }
+    std::uint32_t permanentFaultCount() const { return permanent_; }
+
+    /** All dead directed channels as (node, port) pairs. */
+    std::vector<std::pair<NodeId, PortId>> deadLinks() const;
+
+  private:
+    std::size_t index(NodeId node, PortId port) const;
+    std::uint32_t healthyDegree(NodeId node) const;
+
+    const Topology& topo_;
+    double transientRate_;
+    Rng rng_;
+    std::vector<bool> dead_;  //!< Indexed by node * numPorts + port.
+    std::uint64_t corruptions_ = 0;
+    std::uint32_t permanent_ = 0;
+};
+
+} // namespace crnet
+
+#endif // CRNET_FAULT_FAULT_MODEL_HH

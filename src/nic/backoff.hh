@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Retransmission-gap policies (paper Sec. 6.1, Fig. 11).
+ *
+ * After a kill, the source waits a gap before retransmitting. The
+ * static policy waits a fixed number of cycles; the dynamic policy is
+ * binary exponential backoff in the Ethernet style: after the n-th
+ * kill of a message, the gap is a uniformly random multiple of the
+ * base gap in [0, 2^min(n,10)), capped by backoffCap.
+ */
+
+#ifndef CRNET_NIC_BACKOFF_HH
+#define CRNET_NIC_BACKOFF_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+
+namespace crnet {
+
+/** Gap before attempt `kills`+1 (kills >= 1 = number of kills so far). */
+inline Cycle
+retransmissionGap(const SimConfig& cfg, std::uint32_t kills, Rng& rng)
+{
+    switch (cfg.backoff) {
+      case BackoffScheme::Static:
+        return cfg.backoffGap;
+      case BackoffScheme::Exponential: {
+        const std::uint32_t exponent = std::min<std::uint32_t>(kills,
+                                                               10);
+        const std::uint64_t window = std::uint64_t{1} << exponent;
+        const Cycle gap = cfg.backoffGap * rng.below(window);
+        return std::min<Cycle>(gap, cfg.backoffCap);
+      }
+    }
+    return cfg.backoffGap;
+}
+
+} // namespace crnet
+
+#endif // CRNET_NIC_BACKOFF_HH

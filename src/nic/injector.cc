@@ -1,0 +1,387 @@
+#include "src/nic/injector.hh"
+
+#include <algorithm>
+
+#include "src/nic/backoff.hh"
+#include "src/nic/padding.hh"
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+Injector::Injector(NodeId node, const SimConfig& cfg,
+                   const Topology& topo, const RoutingAlgorithm& algo,
+                   NetworkStats* stats, Rng rng)
+    : node_(node), cfg_(cfg), topo_(topo), algo_(algo), stats_(stats),
+      rng_(rng),
+      slots_(static_cast<std::size_t>(cfg.injectionChannels) *
+             cfg.numVcs),
+      rrVc_(cfg.injectionChannels, 0),
+      channelUsed_(cfg.injectionChannels, false)
+{
+    if (stats == nullptr)
+        panic("Injector requires a NetworkStats block");
+    for (auto& s : slots_)
+        s.credits = cfg.bufferDepth;
+}
+
+Injector::Slot&
+Injector::slot(std::uint32_t ch, VcId vc)
+{
+    return slots_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
+}
+
+bool
+Injector::queueFull() const
+{
+    return queue_.size() >= cfg_.maxPendingPerNode;
+}
+
+bool
+Injector::enqueue(const PendingMessage& msg)
+{
+    if (queueFull()) {
+        stats_->sourceQueueDrops.inc();
+        return false;
+    }
+    queue_.push_back(msg);
+    return true;
+}
+
+void
+Injector::acceptCredit(std::uint32_t inj_channel, VcId vc)
+{
+    Slot& s = slot(inj_channel, vc);
+    if (s.state == Slot::State::Cooldown) {
+        // Post-kill stragglers; the counter is reset when the slot
+        // leaves cooldown.
+        return;
+    }
+    if (s.credits >= cfg_.bufferDepth) {
+        stats_->router.lateCreditsDropped.inc();
+        return;
+    }
+    ++s.credits;
+}
+
+void
+Injector::acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg)
+{
+    Slot& s = slot(inj_channel, vc);
+    if (s.state != Slot::State::Active || s.msg.id != msg) {
+        // The worm already finished or was killed from this side.
+        return;
+    }
+    stats_->abortedByBkill.inc();
+    PendingMessage retry = s.msg;
+    retry.attempt = static_cast<std::uint16_t>(retry.attempt + 1);
+    // The backoff gap is anchored at the next tick (requeueForRetry
+    // runs there, where "now" is known).
+    pendingRetries_.push_back(retry);
+    // A backward kill arrives only after the router purged the
+    // injection VC, so all credit traffic has settled; the slot can be
+    // reused at the next tick.
+    s.state = Slot::State::Cooldown;
+    s.cooldownUntil = 0;
+}
+
+void
+Injector::requeueForRetry(PendingMessage msg, Cycle now)
+{
+    const std::uint32_t kills = msg.attempt;  // Attempts failed so far.
+    if (cfg_.maxRetries != 0 && kills > cfg_.maxRetries) {
+        stats_->messagesFailed.inc();
+        if (msg.measured)
+            stats_->measuredFailed.inc();
+        busyDests_.erase(msg.dst);
+        return;
+    }
+    msg.notBefore = now + retransmissionGap(cfg_, kills, rng_);
+    queue_.push_front(msg);
+    // The worm is out of the network, so release the destination
+    // reservation. No younger message to the same destination can
+    // overtake the retry anyway: the retry sits at the front of the
+    // queue and startWorms() skips any destination already seen
+    // earlier in the scan.
+    busyDests_.erase(msg.dst);
+}
+
+Flit
+Injector::buildFlit(const Slot& s, std::uint32_t seq, Cycle now) const
+{
+    Flit f;
+    f.msg = s.msg.id;
+    f.seq = seq;
+    f.src = node_;
+    f.dst = s.msg.dst;
+    f.attempt = s.msg.attempt;
+    f.payloadLen = s.msg.payloadLen;
+    f.pairSeq = s.msg.pairSeq;
+    f.createdAt = s.msg.createdAt;
+    f.headInjectedAt = seq == 0 ? now : s.headInjectedAt;
+    f.measured = s.msg.measured;
+    if (seq == 0)
+        f.type = FlitType::Head;
+    else if (seq == s.wireLen - 1)
+        f.type = FlitType::Tail;
+    else if (seq < s.msg.payloadLen)
+        f.type = FlitType::Body;
+    else
+        f.type = FlitType::Pad;
+    // Deterministic payload word; the CRC over it models the per-flit
+    // checksum FCR hardware carries.
+    f.payload = (static_cast<std::uint64_t>(s.msg.id) << 20) ^ seq;
+    f.stampCrc();
+    if (f.type == FlitType::Head) {
+        if (cfg_.misrouteAfterRetries != 0 &&
+            s.msg.attempt >= cfg_.misrouteAfterRetries) {
+            f.misrouteBudget = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(cfg_.misrouteBudget, 255));
+        }
+        algo_.onInject(node_, f);
+    }
+    return f;
+}
+
+bool
+Injector::timeoutExpired(const Slot& s, Cycle now) const
+{
+    if (cfg_.protocol == ProtocolKind::None)
+        return false;
+    if (cfg_.timeoutScheme == TimeoutScheme::PathWide ||
+        cfg_.timeoutScheme == TimeoutScheme::DropAtBlock) {
+        return false;  // Routers detect stalls in those schemes.
+    }
+    if (s.nextSeq == 0)
+        return false;  // Timeout arms once transmission starts.
+    if (cfg_.timeoutScheme == TimeoutScheme::SourceStall)
+        return s.stallCycles > cfg_.timeout;
+    // SourceImin: the paper's progress bound. If the header never
+    // blocked it is consumed after ~hops cycles and injection then
+    // proceeds at one flit per cycle — divided by the number of VCs,
+    // because up to numVcs worms share the injection channel's
+    // bandwidth. `timeout` doubles as the slack on the bound.
+    const Cycle header_bound =
+        static_cast<Cycle>(s.hops) * cfg_.channelLatency + s.hops;
+    const Cycle elapsed = now - s.startCycle;
+    if (elapsed <= header_bound + cfg_.timeout)
+        return false;
+    const Cycle i_min =
+        (elapsed - header_bound - cfg_.timeout) / cfg_.numVcs;
+    return s.nextSeq < i_min;
+}
+
+void
+Injector::killWorm(std::uint32_t ch, VcId vc, Cycle now)
+{
+    Slot& s = slot(ch, vc);
+    stats_->sourceKills.inc();
+
+    Flit token;
+    token.type = FlitType::Kill;
+    token.msg = s.msg.id;
+    token.src = node_;
+    token.dst = s.msg.dst;
+    token.attempt = s.msg.attempt;
+    sent.push_back(InjectedFlit{ch, vc, token});
+    channelUsed_[ch] = true;
+
+    PendingMessage retry = s.msg;
+    retry.attempt = static_cast<std::uint16_t>(retry.attempt + 1);
+    requeueForRetry(retry, now);
+
+    s.state = Slot::State::Cooldown;
+    s.cooldownUntil = now + 2;
+}
+
+void
+Injector::startWorms(Cycle now)
+{
+    for (std::uint32_t ch = 0; ch < cfg_.injectionChannels; ++ch) {
+        for (VcId vc = 0; vc < cfg_.numVcs; ++vc) {
+            Slot& s = slot(ch, vc);
+            if (s.state != Slot::State::Free)
+                continue;
+
+            // Scan the queue in order; a message is eligible when its
+            // backoff expired and (if ordering is enforced) no
+            // earlier message, queued or in flight, targets the same
+            // destination.
+            std::vector<NodeId> seen;
+            auto it = queue_.begin();
+            for (; it != queue_.end(); ++it) {
+                const bool dst_clear = !cfg_.enforceDestOrder ||
+                    (!busyDests_.count(it->dst) &&
+                     std::find(seen.begin(), seen.end(), it->dst) ==
+                         seen.end());
+                if (dst_clear && it->notBefore <= now)
+                    break;
+                seen.push_back(it->dst);
+                if (seen.size() >= 16)
+                    it = queue_.end() - 1;  // Bound the scan cost.
+            }
+            if (it == queue_.end())
+                continue;
+
+            PendingMessage msg = *it;
+            queue_.erase(it);
+            busyDests_.insert(msg.dst);
+
+            s.state = Slot::State::Active;
+            s.msg = msg;
+            s.hops = topo_.distance(node_, msg.dst);
+            std::uint32_t eff_hops = s.hops;
+            if (cfg_.misrouteAfterRetries != 0 &&
+                msg.attempt >= cfg_.misrouteAfterRetries) {
+                // Non-minimal hops lengthen the path; pad for the
+                // worst case so the CR commit rule stays sound.
+                eff_hops += 2 * cfg_.misrouteBudget;
+            }
+            s.hops = eff_hops;  // I_min must cover misroute detours.
+            s.wireLen = wireLength(cfg_.protocol, msg.payloadLen,
+                                   eff_hops, cfg_.bufferDepth,
+                                   cfg_.padSlack,
+                                   cfg_.channelLatency);
+            s.nextSeq = 0;
+            s.startCycle = now;
+            s.stallCycles = 0;
+        }
+    }
+}
+
+void
+Injector::checkTimeouts(Cycle now)
+{
+    for (std::uint32_t ch = 0; ch < cfg_.injectionChannels; ++ch) {
+        for (VcId vc = 0; vc < cfg_.numVcs; ++vc) {
+            Slot& s = slot(ch, vc);
+            if (s.state != Slot::State::Active)
+                continue;
+            if (channelUsed_[ch])
+                continue;  // One kill token per channel per cycle.
+            if (timeoutExpired(s, now))
+                killWorm(ch, vc, now);
+        }
+    }
+}
+
+void
+Injector::injectFlits(Cycle now)
+{
+    for (std::uint32_t ch = 0; ch < cfg_.injectionChannels; ++ch) {
+        VcId injected_vc = kInvalidVc;
+        if (!channelUsed_[ch]) {
+            for (std::uint32_t i = 0; i < cfg_.numVcs; ++i) {
+                const VcId vc = static_cast<VcId>(
+                    (rrVc_[ch] + i) % cfg_.numVcs);
+                Slot& s = slot(ch, vc);
+                if (s.state != Slot::State::Active)
+                    continue;
+                if (s.nextSeq >= s.wireLen)
+                    continue;
+                if (s.credits == 0)
+                    continue;
+                // A head only enters an empty, idle router VC: wait
+                // for all credits so worms never share a buffer.
+                if (s.nextSeq == 0 && s.credits < cfg_.bufferDepth)
+                    continue;
+
+                Flit f = buildFlit(s, s.nextSeq, now);
+                if (s.nextSeq == 0)
+                    s.headInjectedAt = now;
+                sent.push_back(InjectedFlit{ch, vc, f});
+                --s.credits;
+                ++s.nextSeq;
+                s.stallCycles = 0;
+                stats_->flitsInjected.inc();
+                if (f.type == FlitType::Pad)
+                    stats_->padFlitsInjected.inc();
+                rrVc_[ch] = static_cast<VcId>((vc + 1) % cfg_.numVcs);
+                injected_vc = vc;
+
+                if (f.type == FlitType::Tail) {
+                    // CR commit: padding guarantees the header has
+                    // been consumed, so the message is delivered
+                    // without acknowledgement.
+                    stats_->messagesCommitted.inc();
+                    if (s.msg.measured) {
+                        stats_->attempts.add(s.msg.attempt + 1);
+                        stats_->padOverhead.add(
+                            static_cast<double>(s.wireLen -
+                                                s.msg.payloadLen - 1) /
+                            s.wireLen);
+                    }
+                    busyDests_.erase(s.msg.dst);
+                    s.state = Slot::State::Free;
+                }
+                break;
+            }
+        }
+
+        // Stall accounting: compression at the source shows up as the
+        // injection VC's buffer staying full — credits exhausted. A
+        // worm that merely lost this cycle's channel arbitration to a
+        // sibling VC still has a draining buffer and is NOT stalled
+        // (this is what lets timeout scale as len/VCs instead of
+        // exploding when many worms share one channel).
+        for (VcId vc = 0; vc < cfg_.numVcs; ++vc) {
+            Slot& s = slot(ch, vc);
+            if (s.state != Slot::State::Active || s.nextSeq == 0)
+                continue;
+            if (s.nextSeq >= s.wireLen)
+                continue;
+            if (s.credits == 0)
+                ++s.stallCycles;
+            else if (vc != injected_vc)
+                s.stallCycles = 0;
+        }
+    }
+}
+
+void
+Injector::tick(Cycle now)
+{
+    sent.clear();
+    std::fill(channelUsed_.begin(), channelUsed_.end(), false);
+
+    // Finish processing aborts accepted during delivery.
+    for (PendingMessage& retry : pendingRetries_)
+        requeueForRetry(retry, now);
+    pendingRetries_.clear();
+
+    // Leave cooldown: the router-side VC is purged and all credit
+    // traffic has settled, so the ledger resets to "empty buffer".
+    for (auto& s : slots_) {
+        if (s.state == Slot::State::Cooldown &&
+            now >= s.cooldownUntil) {
+            s.state = Slot::State::Free;
+            s.credits = cfg_.bufferDepth;
+        }
+    }
+
+    checkTimeouts(now);
+    startWorms(now);
+    injectFlits(now);
+}
+
+std::uint32_t
+Injector::activeWorms() const
+{
+    std::uint32_t n = 0;
+    for (const auto& s : slots_)
+        if (s.state == Slot::State::Active)
+            ++n;
+    return n;
+}
+
+bool
+Injector::idle() const
+{
+    if (!queue_.empty() || !pendingRetries_.empty())
+        return false;
+    for (const auto& s : slots_)
+        if (s.state == Slot::State::Active)
+            return false;
+    return true;
+}
+
+} // namespace crnet

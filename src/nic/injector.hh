@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Message injection interface — the paper's Fig. 7 hardware in
+ * software.
+ *
+ * The injector implements the source half of the CR/FCR protocol:
+ *
+ *  - pads messages to the CR (path depth) or FCR (payload + round
+ *    trip) wire length,
+ *  - watches injection progress per worm (stall counter, or the
+ *    paper's I_min lower bound),
+ *  - kills worms whose progress signals a potential deadlock
+ *    situation, and
+ *  - retransmits killed messages, front-of-queue (order preserving),
+ *    after a static or binary-exponential gap.
+ *
+ * One worm may be in flight per (injection channel, VC) pair; worms on
+ * one channel share its single flit/cycle of bandwidth (which is why
+ * the paper scales the timeout by the VC count). A message to
+ * destination d never starts while an earlier message to d is still
+ * unfinished, which preserves per-(src,dst) order even with several
+ * worms in flight.
+ */
+
+#ifndef CRNET_NIC_INJECTOR_HH
+#define CRNET_NIC_INJECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/metrics.hh"
+#include "src/router/flit.hh"
+#include "src/routing/routing.hh"
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+#include "src/topology/topology.hh"
+#include "src/traffic/message.hh"
+
+namespace crnet {
+
+/** A flit the injector puts on an injection channel this cycle. */
+struct InjectedFlit
+{
+    std::uint32_t injChannel = 0;
+    VcId vc = kInvalidVc;
+    Flit flit;
+};
+
+/** Per-node source interface. */
+class Injector
+{
+  public:
+    Injector(NodeId node, const SimConfig& cfg, const Topology& topo,
+             const RoutingAlgorithm& algo, NetworkStats* stats,
+             Rng rng);
+
+    /**
+     * Queue a message for transmission. Returns false (and counts a
+     * drop) when the source queue is full.
+     */
+    bool enqueue(const PendingMessage& msg);
+
+    // --- Delivery phase ----------------------------------------------
+
+    /** Credit back from the local router's injection input VC. */
+    void acceptCredit(std::uint32_t inj_channel, VcId vc);
+
+    /** Backward kill reached the source: abort and schedule a retry. */
+    void acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg);
+
+    // --- Compute phase -------------------------------------------------
+
+    /** Advance one cycle; fills the `sent` outbox. */
+    void tick(Cycle now);
+
+    /** Flits entering injection channels this cycle. */
+    std::vector<InjectedFlit> sent;
+
+    // --- Introspection ---------------------------------------------------
+
+    /** Worms currently transmitting. */
+    std::uint32_t activeWorms() const;
+
+    /** Messages waiting (or backing off) in the source queue. */
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** True when enqueue() would drop. */
+    bool queueFull() const;
+
+    /** True when nothing is queued or in flight at this source. */
+    bool idle() const;
+
+  private:
+    struct Slot
+    {
+        enum class State { Free, Active, Cooldown };
+
+        State state = State::Free;
+        std::uint32_t credits = 0;
+        Cycle cooldownUntil = 0;
+
+        // Valid while Active:
+        PendingMessage msg;
+        std::uint32_t wireLen = 0;
+        std::uint32_t nextSeq = 0;
+        std::uint32_t hops = 0;
+        Cycle startCycle = 0;
+        Cycle stallCycles = 0;
+        Cycle headInjectedAt = 0;
+    };
+
+    Slot& slot(std::uint32_t ch, VcId vc);
+    void startWorms(Cycle now);
+    void checkTimeouts(Cycle now);
+    void injectFlits(Cycle now);
+    void killWorm(std::uint32_t ch, VcId vc, Cycle now);
+    void requeueForRetry(PendingMessage msg, Cycle now);
+    Flit buildFlit(const Slot& s, std::uint32_t seq, Cycle now) const;
+    bool timeoutExpired(const Slot& s, Cycle now) const;
+
+    NodeId node_;
+    const SimConfig& cfg_;
+    const Topology& topo_;
+    const RoutingAlgorithm& algo_;
+    NetworkStats* stats_;
+    Rng rng_;
+
+    std::deque<PendingMessage> queue_;
+    /** Aborts accepted during delivery, requeued at the next tick. */
+    std::vector<PendingMessage> pendingRetries_;
+    std::vector<Slot> slots_;  //!< [channel][vc] flattened.
+    std::unordered_set<NodeId> busyDests_;
+    std::vector<VcId> rrVc_;   //!< Injection arbitration per channel.
+    std::vector<bool> channelUsed_;  //!< One flit/channel/cycle.
+};
+
+} // namespace crnet
+
+#endif // CRNET_NIC_INJECTOR_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CR/FCR message padding rules.
+ *
+ * "Network depth" of a path is the number of flits the pipeline from
+ * injector to receiver can hold:
+ *
+ *   injection channel register            1
+ *   input VC buffers, (hops+1) routers    (hops + 1) * depth
+ *   router-to-router channel registers    hops
+ *   ejection channel register             1
+ *   receiver-side VC buffer               depth
+ *   total                                 (hops + 2) * depth + hops + 2
+ *
+ * CR invariant: a message must be at least that long (plus slack) so
+ * that, while any flit remains at the source, a blocked header always
+ * shows up as an injection stall, and the worm can still be killed
+ * (the receiver has not committed anything). Conversely, once the tail
+ * has been injected the header must already have been consumed, so
+ * delivery is guaranteed and the source can free the message with no
+ * acknowledgement.
+ *
+ * FCR invariant: every payload flit must be followed by at least one
+ * network depth of padding. The receiver signals a detected error by
+ * refusing to consume (withholding flow control); the refusal's stall
+ * wave reaches the source before the tail is injected only if the
+ * source still has a full pipeline's worth of flits to inject when the
+ * last payload flit is checked. This is the paper's "round-trip"
+ * padding: total length = payload + network depth (+ slack).
+ */
+
+#ifndef CRNET_NIC_PADDING_HH
+#define CRNET_NIC_PADDING_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/sim/config.hh"
+
+namespace crnet {
+
+/**
+ * Flit capacity of a path of `hops` router-to-router channels.
+ * `channel_latency` > 1 models deep networks (long wires): each
+ * network channel then pipelines that many flits, which is the
+ * paper's "Network Depth" discussion — padding grows with wire
+ * length. NIC channels stay one flit deep.
+ */
+inline std::uint32_t
+pathFlitCapacity(std::uint32_t hops, std::uint32_t buffer_depth,
+                 std::uint32_t channel_latency = 1)
+{
+    return (hops + 2) * buffer_depth + hops * channel_latency + 2;
+}
+
+/**
+ * Total wire length (payload + pads + tail) for a message.
+ *
+ * @param protocol     Protocol in force.
+ * @param payload_len  Payload flits including the head.
+ * @param hops         Minimal path length; callers add 2x the misroute
+ *                     budget when non-minimal hops are possible.
+ * @param buffer_depth VC buffer depth.
+ * @param pad_slack    Safety margin in flits.
+ */
+inline std::uint32_t
+wireLength(ProtocolKind protocol, std::uint32_t payload_len,
+           std::uint32_t hops, std::uint32_t buffer_depth,
+           std::uint32_t pad_slack, std::uint32_t channel_latency = 1)
+{
+    const std::uint32_t capacity =
+        pathFlitCapacity(hops, buffer_depth, channel_latency);
+    switch (protocol) {
+      case ProtocolKind::None:
+        return payload_len + 1;  // Just the tail terminator.
+      case ProtocolKind::Cr:
+        return std::max(payload_len + 1, capacity + pad_slack);
+      case ProtocolKind::Fcr:
+        return payload_len + capacity + pad_slack;
+    }
+    return payload_len + 1;
+}
+
+} // namespace crnet
+
+#endif // CRNET_NIC_PADDING_HH

@@ -1,0 +1,226 @@
+#include "src/nic/receiver.hh"
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+Receiver::Receiver(NodeId node, const SimConfig& cfg, NodeId num_nodes,
+                   NetworkStats* stats, DeliverySink* sink)
+    : node_(node), cfg_(cfg), stats_(stats), sink_(sink),
+      rrVc_(cfg.ejectionChannels, 0),
+      lastSeq_(num_nodes, -1)
+{
+    if (stats == nullptr)
+        panic("Receiver requires a NetworkStats block");
+    bufs_.reserve(static_cast<std::size_t>(cfg.ejectionChannels) *
+                  cfg.numVcs);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(cfg.ejectionChannels) *
+                 cfg.numVcs;
+         ++i) {
+        bufs_.emplace_back(cfg.bufferDepth);
+    }
+}
+
+Receiver::VcBuffer&
+Receiver::vcBuf(std::uint32_t ch, VcId vc)
+{
+    return bufs_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
+}
+
+void
+Receiver::acceptFlit(std::uint32_t ej_channel, VcId vc,
+                     const Flit& flit)
+{
+    VcBuffer& b = vcBuf(ej_channel, vc);
+
+    if (flit.isKill()) {
+        // Forward kill: discard the partial message (unless the token
+        // is stale — a newer attempt already started assembling).
+        stats_->router.flitsPurged.inc(b.buf.purge());
+        auto it = assemblies_.find(flit.msg);
+        if (it != assemblies_.end() &&
+            it->second.attempt <= flit.attempt) {
+            assemblies_.erase(it);
+        }
+        b.refusing = false;
+        b.refusedMsg = kInvalidMsg;
+        return;
+    }
+    b.buf.push(flit);
+}
+
+void
+Receiver::consume(std::uint32_t ch, VcId vc, Cycle now)
+{
+    VcBuffer& b = vcBuf(ch, vc);
+    const Flit& front = b.buf.front();
+
+    // FCR integrity check at the buffer head: payload flits (head and
+    // body) must pass their CRC and actually belong here. On failure
+    // the receiver refuses to consume; the stalled worm triggers the
+    // source timeout and the message is killed and retransmitted.
+    if (cfg_.protocol == ProtocolKind::Fcr &&
+        (front.type == FlitType::Head ||
+         front.type == FlitType::Body)) {
+        const bool bad = front.corrupted || !front.checksumOk() ||
+                         front.dst != node_;
+        if (bad) {
+            if (!b.refusing || b.refusedMsg != front.msg) {
+                b.refusing = true;
+                b.refusedMsg = front.msg;
+                stats_->refusals.inc();
+            }
+            return;
+        }
+    }
+    b.refusing = false;
+
+    const Flit flit = b.buf.pop();
+    credits.push_back(ReceiverCredit{ch, vc});
+    stats_->flitsConsumed.inc();
+    if (flit.type == FlitType::Pad)
+        stats_->padFlitsConsumed.inc();
+
+    // Stale-attempt handling: a kill token chasing a congested path
+    // can lose the race against the retransmission, which may arrive
+    // over a different ejection VC. Flits of an older attempt are
+    // therefore discarded on sight; the assembly only ever tracks the
+    // newest attempt observed. (A tail can never be stale: CR kills
+    // only happen before tail injection.)
+    Assembly& a = assemblies_[flit.msg];
+    if (flit.isHead()) {
+        if (a.src != kInvalidNode) {
+            if (a.attempt == flit.attempt) {
+                panic("duplicate head for msg ", flit.msg,
+                      " attempt ", flit.attempt, " at node ", node_);
+            }
+            if (a.attempt > flit.attempt) {
+                stats_->staleAttemptFlits.inc();
+                return;
+            }
+        }
+        // A brand new message, or a retry superseding a partial
+        // older attempt.
+        a.src = flit.src;
+        a.attempt = flit.attempt;
+        a.nextSeq = 0;
+        a.corrupted = false;
+    } else if (a.src == kInvalidNode) {
+        // Continuation of an attempt whose assembly is already gone
+        // (superseded and then delivered/killed): discard.
+        assemblies_.erase(flit.msg);
+        stats_->staleAttemptFlits.inc();
+        return;
+    } else if (flit.attempt < a.attempt) {
+        stats_->staleAttemptFlits.inc();
+        return;
+    } else if (flit.attempt > a.attempt) {
+        panic("continuation of attempt ", flit.attempt,
+              " before its head for msg ", flit.msg);
+    }
+
+    if (flit.seq != a.nextSeq)
+        panic("out-of-order flit within worm: msg ", flit.msg,
+              " seq ", flit.seq, " expected ", a.nextSeq);
+    ++a.nextSeq;
+
+    if ((flit.type == FlitType::Head || flit.type == FlitType::Body) &&
+        (flit.corrupted || !flit.checksumOk())) {
+        a.corrupted = true;
+    }
+
+    if (flit.isTail())
+        deliver(flit, a, now);
+}
+
+void
+Receiver::deliver(const Flit& tail, const Assembly& a, Cycle now)
+{
+    DeliveredMessage d;
+    d.id = tail.msg;
+    d.src = a.src;
+    d.dst = node_;
+    d.payloadLen = tail.payloadLen;
+    d.pairSeq = tail.pairSeq;
+    d.createdAt = tail.createdAt;
+    d.headInjectedAt = tail.headInjectedAt;
+    d.deliveredAt = now;
+    d.attempts = static_cast<std::uint16_t>(a.attempt + 1);
+    d.measured = tail.measured;
+    d.corrupted = a.corrupted;
+
+    stats_->messagesDelivered.inc();
+    ++delivered_;
+    if (d.corrupted)
+        stats_->corruptedDeliveries.inc();
+
+    checkDeliveryOrder(a.src, d.pairSeq);
+
+    if (d.measured) {
+        stats_->measuredDelivered.inc();
+        stats_->measuredPayloadFlits.inc(d.payloadLen);
+        const auto total =
+            static_cast<double>(d.deliveredAt - d.createdAt);
+        stats_->totalLatency.add(total);
+        stats_->latencyHist.add(total);
+        stats_->netLatency.add(
+            static_cast<double>(d.deliveredAt - d.headInjectedAt));
+    }
+    if (sink_ != nullptr)
+        sink_->onDelivered(d);
+
+    assemblies_.erase(tail.msg);
+}
+
+void
+Receiver::checkDeliveryOrder(NodeId src, std::uint32_t pair_seq)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | pair_seq;
+    if (!seenSeq_.insert(key).second) {
+        stats_->duplicateDeliveries.inc();
+        return;
+    }
+    std::int64_t& last = lastSeq_[src];
+    if (static_cast<std::int64_t>(pair_seq) < last)
+        stats_->orderViolations.inc();
+    else
+        last = pair_seq;
+}
+
+void
+Receiver::tick(Cycle now)
+{
+    credits.clear();
+    for (std::uint32_t ch = 0; ch < cfg_.ejectionChannels; ++ch) {
+        for (std::uint32_t i = 0; i < cfg_.numVcs; ++i) {
+            const VcId vc = static_cast<VcId>(
+                (rrVc_[ch] + i) % cfg_.numVcs);
+            VcBuffer& b = vcBuf(ch, vc);
+            if (b.buf.empty())
+                continue;
+            if (b.refusing && b.refusedMsg == b.buf.front().msg)
+                continue;  // Withholding flow control on purpose.
+            const std::size_t before = credits.size();
+            consume(ch, vc, now);
+            if (credits.size() != before) {
+                // Consumed: one flit per ejection channel per cycle.
+                rrVc_[ch] = static_cast<VcId>((vc + 1) % cfg_.numVcs);
+                break;
+            }
+            // Refused at the head: try another VC this cycle.
+        }
+    }
+}
+
+bool
+Receiver::idle() const
+{
+    for (const auto& b : bufs_)
+        if (!b.buf.empty())
+            return false;
+    return assemblies_.empty();
+}
+
+} // namespace crnet

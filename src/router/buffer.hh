@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-capacity flit FIFO used for every virtual-channel buffer.
+ *
+ * A plain ring buffer: wormhole simulation enqueues/dequeues millions of
+ * flits, so this avoids per-flit allocation entirely.
+ */
+
+#ifndef CRNET_ROUTER_BUFFER_HH
+#define CRNET_ROUTER_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/log.hh"
+#include "src/router/flit.hh"
+
+namespace crnet {
+
+/** Bounded FIFO of flits. */
+class FlitBuffer
+{
+  public:
+    /** @param capacity Maximum number of buffered flits (> 0). */
+    explicit FlitBuffer(std::size_t capacity)
+        : slots_(capacity)
+    {
+        if (capacity == 0)
+            panic("FlitBuffer capacity must be > 0");
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == slots_.size(); }
+
+    /** Enqueue at the back; panics when full (flow control bug). */
+    void
+    push(const Flit& flit)
+    {
+        if (full())
+            panic("FlitBuffer overflow (msg ", flit.msg, ", seq ",
+                  flit.seq, ")");
+        slots_[(head_ + count_) % slots_.size()] = flit;
+        ++count_;
+    }
+
+    /** The oldest flit; panics when empty. */
+    const Flit&
+    front() const
+    {
+        if (empty())
+            panic("FlitBuffer::front on empty buffer");
+        return slots_[head_];
+    }
+
+    /** Mutable access to the oldest flit (header state updates). */
+    Flit&
+    frontMutable()
+    {
+        if (empty())
+            panic("FlitBuffer::frontMutable on empty buffer");
+        return slots_[head_];
+    }
+
+    /** Remove and return the oldest flit. */
+    Flit
+    pop()
+    {
+        if (empty())
+            panic("FlitBuffer::pop on empty buffer");
+        Flit f = slots_[head_];
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+        return f;
+    }
+
+    /** Drop all contents (kill-token purge); returns dropped count. */
+    std::size_t
+    purge()
+    {
+        const std::size_t dropped = count_;
+        count_ = 0;
+        head_ = 0;
+        return dropped;
+    }
+
+  private:
+    std::vector<Flit> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace crnet
+
+#endif // CRNET_ROUTER_BUFFER_HH

@@ -1,0 +1,477 @@
+#include "src/router/router.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+Router::Router(NodeId id, const SimConfig& cfg,
+               const RoutingAlgorithm& algo, RouterStats* stats,
+               Rng rng)
+    : id_(id), cfg_(cfg), algo_(algo), stats_(stats), rng_(rng),
+      networkPorts_(static_cast<PortId>(2 * cfg.dimensionsN)),
+      numInPorts_(static_cast<PortId>(networkPorts_ +
+                                      cfg.injectionChannels)),
+      numOutPorts_(static_cast<PortId>(networkPorts_ +
+                                       cfg.ejectionChannels)),
+      numVcs_(cfg.numVcs)
+{
+    if (stats == nullptr)
+        panic("Router requires a shared RouterStats block");
+
+    inputs_.reserve(static_cast<std::size_t>(numInPorts_) * numVcs_);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(numInPorts_) * numVcs_; ++i)
+        inputs_.emplace_back(cfg.bufferDepth);
+
+    outputs_.resize(static_cast<std::size_t>(numOutPorts_) * numVcs_);
+    for (PortId p = 0; p < numOutPorts_; ++p) {
+        for (VcId v = 0; v < numVcs_; ++v) {
+            OutputVc& o = ovc(p, v);
+            o.credits = cfg.bufferDepth;
+            o.ejection = p >= ejBase();
+        }
+    }
+
+    rrInVc_.assign(numInPorts_, 0);
+    rrOutIn_.assign(numOutPorts_, 0);
+    outPortBusy_.assign(numOutPorts_, false);
+}
+
+Router::InputVc&
+Router::ivc(PortId p, VcId v)
+{
+    return inputs_[static_cast<std::size_t>(p) * numVcs_ + v];
+}
+
+const Router::InputVc&
+Router::ivc(PortId p, VcId v) const
+{
+    return inputs_[static_cast<std::size_t>(p) * numVcs_ + v];
+}
+
+Router::OutputVc&
+Router::ovc(PortId p, VcId v)
+{
+    return outputs_[static_cast<std::size_t>(p) * numVcs_ + v];
+}
+
+const Router::OutputVc&
+Router::ovc(PortId p, VcId v) const
+{
+    return outputs_[static_cast<std::size_t>(p) * numVcs_ + v];
+}
+
+void
+Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit)
+{
+    if (in_port >= numInPorts_ || vc >= numVcs_)
+        panic("acceptFlit: bad port/vc (", in_port, ", ", vc, ")");
+    InputVc& in = ivc(in_port, vc);
+
+    if (flit.isKill()) {
+        const std::size_t purged = in.buf.purge();
+        stats_->flitsPurged.inc(purged);
+        switch (in.state) {
+          case InputVc::State::Active:
+            if (in.msg != flit.msg) {
+                // The token must chase its own worm; anything else is
+                // a protocol bug.
+                panic("kill token for msg ", flit.msg,
+                      " found msg ", in.msg, " at node ", id_);
+            }
+            in.killPending = true;
+            in.killFlit = flit;
+            in.killOutPort = in.outPort;
+            in.killOutVc = in.outVc;
+            break;
+          case InputVc::State::Routing:
+            // The header was still waiting here: token and worm
+            // annihilate; nothing to tear down further downstream.
+            stats_->killsAnnihilated.inc();
+            break;
+          case InputVc::State::Idle:
+            // Stale token (the worm was already torn down from the
+            // other side, e.g. a backward kill beat us here).
+            stats_->staleKills.inc();
+            return;
+        }
+        in.purgeMsg = flit.msg;
+        in.msg = kInvalidMsg;
+        in.state = InputVc::State::Idle;
+        in.stallCycles = 0;
+        return;
+    }
+
+    // Data flit.
+    if (in.state == InputVc::State::Idle) {
+        if (flit.isHead()) {
+            in.buf.push(flit);
+            in.state = InputVc::State::Routing;
+            in.msg = flit.msg;
+            in.attempt = flit.attempt;
+            in.stallCycles = 0;
+            return;
+        }
+        // Continuation of a worm that was purged here (backward-kill
+        // race): at most one such flit can be in flight per hop.
+        if (flit.msg != in.purgeMsg) {
+            panic("straggler for unexpected msg ", flit.msg,
+                  " (purged ", in.purgeMsg, ") at node ", id_);
+        }
+        stats_->stragglersDropped.inc();
+        return;
+    }
+
+    if (flit.msg != in.msg)
+        panic("interleaved worms on one VC: msg ", flit.msg, " vs ",
+              in.msg, " at node ", id_);
+    in.buf.push(flit);
+}
+
+void
+Router::acceptCredit(PortId out_port, VcId vc)
+{
+    OutputVc& o = ovc(out_port, vc);
+    if (o.credits >= cfg_.bufferDepth) {
+        // A credit for a flit that a kill purge already accounted for
+        // (the kill reset the counter to "downstream empty").
+        stats_->lateCreditsDropped.inc();
+        return;
+    }
+    ++o.credits;
+}
+
+void
+Router::acceptBkill(PortId out_port, VcId vc)
+{
+    pendingBkillsAsOut_.push_back(SentBkill{out_port, vc});
+}
+
+void
+Router::processBkills()
+{
+    for (const SentBkill& bk : pendingBkillsAsOut_) {
+        OutputVc& o = ovc(bk.inPort, bk.vc);
+        if (!o.allocated) {
+            stats_->staleKills.inc();
+            continue;
+        }
+        const PortId hp = o.holderPort;
+        const VcId hv = o.holderVc;
+        InputVc& in = ivc(hp, hv);
+        const MsgId msg = in.msg;
+        stats_->flitsPurged.inc(in.buf.purge());
+        stats_->bkillHops.inc();
+        in.state = InputVc::State::Idle;
+        in.purgeMsg = msg;
+        in.msg = kInvalidMsg;
+        in.stallCycles = 0;
+        o.allocated = false;
+        o.credits = cfg_.bufferDepth;
+        o.quarantineUntil = now_ + 2 * cfg_.channelLatency;
+        propagateUpstream(hp, hv, msg);
+    }
+    pendingBkillsAsOut_.clear();
+}
+
+void
+Router::propagateUpstream(PortId in_port, VcId vc, MsgId msg)
+{
+    if (in_port >= injBase()) {
+        sentAborts.push_back(SentAbort{
+            static_cast<std::uint32_t>(in_port - injBase()), vc, msg});
+        return;
+    }
+    sentBkills.push_back(SentBkill{in_port, vc});
+}
+
+void
+Router::forwardKills()
+{
+    for (PortId p = 0; p < numInPorts_; ++p) {
+        for (VcId v = 0; v < numVcs_; ++v) {
+            InputVc& in = ivc(p, v);
+            if (!in.killPending)
+                continue;
+            const PortId o = in.killOutPort;
+            if (outPortBusy_[o])
+                continue;  // Another kill claimed the channel; wait.
+            outPortBusy_[o] = true;
+            sentFlits.push_back(SentFlit{o, in.killOutVc, in.killFlit});
+            stats_->killsForwarded.inc();
+            OutputVc& out = ovc(o, in.killOutVc);
+            out.allocated = false;
+            // Purged downstream flits never return credits; reset the
+            // ledger to "empty" and quarantine against the one credit
+            // that may still be in flight.
+            out.credits = cfg_.bufferDepth;
+            // In-flight credits can still arrive for up to two
+            // channel traversals after the reset.
+            out.quarantineUntil = now_ + 2 * cfg_.channelLatency;
+            in.killPending = false;
+        }
+    }
+}
+
+void
+Router::routeHeaders(Cycle now)
+{
+    for (PortId p = 0; p < numInPorts_; ++p) {
+        for (VcId v = 0; v < numVcs_; ++v) {
+            InputVc& in = ivc(p, v);
+            if (in.state != InputVc::State::Routing)
+                continue;
+            if (in.buf.empty())
+                panic("Routing-state VC with empty buffer at node ",
+                      id_);
+            Flit& head = in.buf.frontMutable();
+            if (!head.isHead())
+                panic("Routing-state VC without header at front");
+
+            // FCR routers validate header integrity: a corrupted
+            // header cannot be trusted to route, so it blocks until
+            // the source timeout recovers the worm.
+            if (cfg_.protocol == ProtocolKind::Fcr &&
+                (head.corrupted || !head.checksumOk())) {
+                continue;
+            }
+
+            bool allocated = false;
+            if (head.dst == id_) {
+                // Eject: claim any free ejection output VC.
+                const auto ej_ports = static_cast<std::uint32_t>(
+                    numOutPorts_ - ejBase());
+                const auto start = static_cast<std::uint32_t>(
+                    rng_.below(ej_ports));
+                for (std::uint32_t i = 0; i < ej_ports && !allocated;
+                     ++i) {
+                    const PortId ep = static_cast<PortId>(
+                        ejBase() + (start + i) % ej_ports);
+                    for (VcId ev = 0; ev < numVcs_; ++ev) {
+                        OutputVc& o = ovc(ep, ev);
+                        if (o.allocated ||
+                            o.credits < cfg_.bufferDepth ||
+                            now < o.quarantineUntil) {
+                            continue;
+                        }
+                        o.allocated = true;
+                        o.holderPort = p;
+                        o.holderVc = v;
+                        in.outPort = ep;
+                        in.outVc = ev;
+                        allocated = true;
+                        break;
+                    }
+                }
+            } else {
+                scratch_.clear();
+                algo_.candidates(id_, head, scratch_, rng_);
+                for (const Candidate& c : scratch_) {
+                    OutputVc& o = ovc(c.port, c.vc);
+                    if (o.allocated || o.credits < cfg_.bufferDepth ||
+                        now < o.quarantineUntil) {
+                        continue;
+                    }
+                    o.allocated = true;
+                    o.holderPort = p;
+                    o.holderVc = v;
+                    in.outPort = c.port;
+                    in.outVc = c.vc;
+                    if (c.escape)
+                        stats_->escapeAllocations.inc();
+                    if (c.misroute) {
+                        stats_->misrouteHops.inc();
+                        if (head.misrouteBudget > 0)
+                            --head.misrouteBudget;
+                    }
+                    allocated = true;
+                    break;
+                }
+            }
+
+            if (allocated) {
+                in.state = InputVc::State::Active;
+                in.movedThisCycle = true;
+                stats_->headersRouted.inc();
+            }
+        }
+    }
+}
+
+void
+Router::allocateSwitch(Cycle)
+{
+    // Phase 1: each input port nominates one VC (round-robin scan).
+    struct Req
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+    // Small fixed-size network: a per-output bucket vector is cheap.
+    static thread_local std::vector<std::vector<Req>> by_out;
+    by_out.assign(numOutPorts_, {});
+
+    for (PortId p = 0; p < numInPorts_; ++p) {
+        for (std::uint32_t i = 0; i < numVcs_; ++i) {
+            const VcId v = static_cast<VcId>(
+                (rrInVc_[p] + i) % numVcs_);
+            InputVc& in = ivc(p, v);
+            if (in.state != InputVc::State::Active || in.buf.empty())
+                continue;
+            if (outPortBusy_[in.outPort])
+                continue;  // Channel taken by a kill this cycle.
+            const OutputVc& o = ovc(in.outPort, in.outVc);
+            if (o.credits == 0)
+                continue;
+            by_out[in.outPort].push_back(Req{p, v});
+            break;  // One nomination per input port.
+        }
+    }
+
+    // Phase 2: each output port picks one winner (round-robin).
+    for (PortId o = 0; o < numOutPorts_; ++o) {
+        auto& reqs = by_out[o];
+        if (reqs.empty())
+            continue;
+        const Req* winner = &reqs[0];
+        std::uint32_t best = numInPorts_;
+        for (const Req& r : reqs) {
+            const std::uint32_t dist =
+                (r.inPort + numInPorts_ - rrOutIn_[o]) % numInPorts_;
+            if (dist < best) {
+                best = dist;
+                winner = &r;
+            }
+        }
+        InputVc& in = ivc(winner->inPort, winner->inVc);
+        OutputVc& out = ovc(in.outPort, in.outVc);
+        Flit flit = in.buf.pop();
+        if (flit.isHead() && o < networkPorts_)
+            algo_.onTraverse(id_, o, flit);
+        --out.credits;
+        sentFlits.push_back(SentFlit{o, in.outVc, flit});
+        sentCredits.push_back(SentCredit{winner->inPort,
+                                         winner->inVc});
+        stats_->flitsForwarded.inc();
+        in.movedThisCycle = true;
+        in.stallCycles = 0;
+        rrInVc_[winner->inPort] =
+            static_cast<VcId>((winner->inVc + 1) % numVcs_);
+        rrOutIn_[o] = static_cast<PortId>(
+            (winner->inPort + 1) % numInPorts_);
+        if (flit.isTail()) {
+            out.allocated = false;  // Credits drain back naturally.
+            in.state = InputVc::State::Idle;
+            in.msg = kInvalidMsg;
+            if (!in.buf.empty())
+                panic("flits behind a tail on one VC at node ", id_);
+        }
+    }
+}
+
+void
+Router::killWormAt(PortId p, VcId v)
+{
+    InputVc& in = ivc(p, v);
+    const MsgId msg = in.msg;
+    stats_->flitsPurged.inc(in.buf.purge());
+    stats_->pathWideKills.inc();
+
+    if (in.state == InputVc::State::Active) {
+        // Tear down toward the destination with a forward kill token.
+        Flit token;
+        token.type = FlitType::Kill;
+        token.msg = msg;
+        token.attempt = in.attempt;
+        in.killPending = true;
+        in.killFlit = token;
+        in.killOutPort = in.outPort;
+        in.killOutVc = in.outVc;
+    }
+    // Tear down toward the source (reaches the injector, which
+    // schedules the retransmission).
+    propagateUpstream(p, v, msg);
+    in.state = InputVc::State::Idle;
+    in.purgeMsg = msg;
+    in.msg = kInvalidMsg;
+    in.stallCycles = 0;
+}
+
+void
+Router::checkRouterTimeouts()
+{
+    // PathWide watches every worm segment; DropAtBlock (the BBN
+    // Butterfly / abort-and-retry discipline from the paper's related
+    // work) only rejects worms whose *header* is blocked here.
+    const bool headers_only =
+        cfg_.timeoutScheme == TimeoutScheme::DropAtBlock;
+    for (PortId p = 0; p < numInPorts_; ++p) {
+        for (VcId v = 0; v < numVcs_; ++v) {
+            InputVc& in = ivc(p, v);
+            if (in.state == InputVc::State::Idle)
+                continue;
+            if (headers_only && in.state != InputVc::State::Routing)
+                continue;
+            const bool blocked = !in.movedThisCycle &&
+                (in.state == InputVc::State::Routing ||
+                 !in.buf.empty());
+            if (!blocked)
+                continue;
+            if (++in.stallCycles > cfg_.timeout)
+                killWormAt(p, v);
+        }
+    }
+}
+
+void
+Router::tick(Cycle now)
+{
+    now_ = now;
+    sentFlits.clear();
+    sentCredits.clear();
+    sentBkills.clear();
+    sentAborts.clear();
+    std::fill(outPortBusy_.begin(), outPortBusy_.end(), false);
+    for (auto& in : inputs_)
+        in.movedThisCycle = false;
+
+    processBkills();
+    forwardKills();
+    routeHeaders(now);
+    allocateSwitch(now);
+    if (cfg_.timeoutScheme == TimeoutScheme::PathWide ||
+        cfg_.timeoutScheme == TimeoutScheme::DropAtBlock) {
+        checkRouterTimeouts();
+    }
+}
+
+bool
+Router::idle() const
+{
+    for (const auto& in : inputs_) {
+        if (in.state != InputVc::State::Idle || !in.buf.empty() ||
+            in.killPending) {
+            return false;
+        }
+    }
+    return pendingBkillsAsOut_.empty();
+}
+
+std::uint64_t
+Router::bufferedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto& in : inputs_)
+        n += in.buf.size();
+    return n;
+}
+
+bool
+Router::vcIdle(PortId in_port, VcId vc) const
+{
+    return ivc(in_port, vc).state == InputVc::State::Idle;
+}
+
+} // namespace crnet

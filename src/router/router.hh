@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Wormhole router model.
+ *
+ * Microarchitecture (one clock = one tick):
+ *  - Input-buffered: every input port has `numVcs` virtual channels,
+ *    each a FlitBuffer of `bufferDepth` flits.
+ *  - Credit-based flow control per VC; one flit per physical channel
+ *    per cycle; channel latency (1 cycle) is modeled by the Network.
+ *  - Atomic VC allocation: a header may claim a downstream VC only if
+ *    it is unallocated and its buffer is empty (all credits present).
+ *  - Switch: one flit per input port and one flit per output port per
+ *    cycle; round-robin arbitration on both sides.
+ *
+ * Port layout: input ports [0, 2n) are network links, [2n, 2n+I) are
+ * injection channels from the local NIC. Output ports [0, 2n) are
+ * network links, [2n, 2n+E) are ejection channels to the local NIC.
+ *
+ * Kill machinery (the CR-specific part):
+ *  - A forward Kill token arriving at an input VC purges the worm's
+ *    buffered flits. If the worm had an output allocated, the token is
+ *    re-sent on that output next cycle with priority over data and
+ *    without consuming credits (in hardware it rides the control
+ *    wires); the output VC is deallocated and its credit count reset
+ *    to "empty downstream" because the purged flits never return
+ *    credits. If the worm's header was still waiting here, the token
+ *    annihilates with it.
+ *  - A backward kill walks the worm's switch allocations upstream,
+ *    purging as it goes, until it reaches the injector (which aborts
+ *    and schedules a retransmission). Used by the receiver-independent
+ *    path-wide timeout scheme the paper evaluates against.
+ */
+
+#ifndef CRNET_ROUTER_ROUTER_HH
+#define CRNET_ROUTER_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/router/buffer.hh"
+#include "src/router/flit.hh"
+#include "src/routing/routing.hh"
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace crnet {
+
+/** Counters shared by all routers of one network. */
+struct RouterStats
+{
+    Counter flitsForwarded;     //!< Data flits moved through switches.
+    Counter headersRouted;      //!< Successful VC allocations.
+    Counter escapeAllocations;  //!< Duato escape-channel entries (PDS).
+    Counter misrouteHops;       //!< Non-minimal hops taken.
+    Counter killsForwarded;     //!< Forward-kill hop traversals.
+    Counter killsAnnihilated;   //!< Kills that met their header.
+    Counter pathWideKills;      //!< Router-initiated kills (path-wide).
+    Counter bkillHops;          //!< Backward-kill hop traversals.
+    Counter flitsPurged;        //!< Data flits dropped by kill purges.
+    Counter stragglersDropped;  //!< Late data flits of killed worms.
+    Counter staleKills;         //!< Kill/bkill tokens that found their
+                                //!< worm already gone.
+    Counter lateCreditsDropped; //!< Credits arriving after kill reset.
+};
+
+/** A flit leaving the router this cycle. */
+struct SentFlit
+{
+    PortId outPort = kInvalidPort;
+    VcId vc = kInvalidVc;
+    Flit flit;
+};
+
+/** A credit owed to whoever feeds `inPort`. */
+struct SentCredit
+{
+    PortId inPort = kInvalidPort;
+    VcId vc = kInvalidVc;
+};
+
+/** A backward kill owed to whoever feeds `inPort`. */
+struct SentBkill
+{
+    PortId inPort = kInvalidPort;
+    VcId vc = kInvalidVc;
+};
+
+/** An abort notification to the local injector. */
+struct SentAbort
+{
+    std::uint32_t injChannel = 0;
+    VcId vc = kInvalidVc;
+    MsgId msg = kInvalidMsg;
+};
+
+/** One wormhole router. */
+class Router
+{
+  public:
+    /**
+     * @param id     Node this router serves.
+     * @param cfg    Simulation configuration.
+     * @param algo   Routing relation (shared across routers).
+     * @param stats  Shared counter block (never null).
+     * @param rng    Private stream for arbitration tie-breaks.
+     */
+    Router(NodeId id, const SimConfig& cfg,
+           const RoutingAlgorithm& algo, RouterStats* stats, Rng rng);
+
+    NodeId id() const { return id_; }
+    PortId numInPorts() const { return numInPorts_; }
+    PortId numOutPorts() const { return numOutPorts_; }
+    PortId networkPorts() const { return networkPorts_; }
+    /** First injection input port. */
+    PortId injBase() const { return networkPorts_; }
+    /** First ejection output port. */
+    PortId ejBase() const { return networkPorts_; }
+
+    // --- Delivery phase (Network calls these before tick) ----------
+
+    /** A flit arrives on an input VC (from a channel register). */
+    void acceptFlit(PortId in_port, VcId vc, const Flit& flit);
+
+    /** A credit returns for an output VC. */
+    void acceptCredit(PortId out_port, VcId vc);
+
+    /** A backward kill arrives, addressed to an output VC. */
+    void acceptBkill(PortId out_port, VcId vc);
+
+    // --- Compute phase ----------------------------------------------
+
+    /**
+     * Advance one cycle: process backward kills, forward pending kill
+     * tokens, route waiting headers, allocate the switch and emit
+     * flits/credits into the outboxes.
+     */
+    void tick(Cycle now);
+
+    // --- Outboxes (valid after tick; cleared at next tick) -----------
+    std::vector<SentFlit> sentFlits;
+    std::vector<SentCredit> sentCredits;
+    std::vector<SentBkill> sentBkills;
+    std::vector<SentAbort> sentAborts;
+
+    // --- Introspection (tests, watchdog) ------------------------------
+
+    /** True when no input VC holds any flit or allocation. */
+    bool idle() const;
+
+    /** Flits currently buffered across all input VCs. */
+    std::uint64_t bufferedFlits() const;
+
+    /** State of one input VC (test hook). */
+    bool vcIdle(PortId in_port, VcId vc) const;
+
+  private:
+    /** Per-input-VC state machine. */
+    struct InputVc
+    {
+        explicit InputVc(std::size_t depth) : buf(depth) {}
+
+        enum class State { Idle, Routing, Active };
+
+        FlitBuffer buf;
+        State state = State::Idle;
+        MsgId msg = kInvalidMsg;
+        std::uint16_t attempt = 0;      //!< Attempt of current worm.
+        PortId outPort = kInvalidPort;  //!< Allocation when Active.
+        VcId outVc = kInvalidVc;
+        Cycle stallCycles = 0;          //!< For the path-wide scheme.
+        bool movedThisCycle = false;    //!< Progress flag (stall calc).
+        bool killPending = false;       //!< Kill token to forward.
+        Flit killFlit;                  //!< The stored token.
+        PortId killOutPort = kInvalidPort;
+        VcId killOutVc = kInvalidVc;
+        MsgId purgeMsg = kInvalidMsg;   //!< Drop stragglers of this.
+    };
+
+    /** Per-output-VC bookkeeping. */
+    struct OutputVc
+    {
+        bool allocated = false;
+        PortId holderPort = kInvalidPort;
+        VcId holderVc = kInvalidVc;
+        std::uint32_t credits = 0;
+        bool ejection = false;  //!< Finite receiver-buffer credits.
+        /**
+         * Not allocatable before this cycle: after a kill resets the
+         * credit count, one in-flight credit may still arrive a cycle
+         * later; quarantining the VC keeps the ledger exact.
+         */
+        Cycle quarantineUntil = 0;
+    };
+
+    InputVc& ivc(PortId p, VcId v);
+    const InputVc& ivc(PortId p, VcId v) const;
+    OutputVc& ovc(PortId p, VcId v);
+    const OutputVc& ovc(PortId p, VcId v) const;
+
+    void processBkills();
+    void forwardKills();
+    void routeHeaders(Cycle now);
+    void allocateSwitch(Cycle now);
+    void checkRouterTimeouts();
+    void killWormAt(PortId p, VcId v);
+    void releaseForKill(InputVc& in);
+    void propagateUpstream(PortId in_port, VcId vc, MsgId msg);
+
+    NodeId id_;
+    const SimConfig& cfg_;
+    const RoutingAlgorithm& algo_;
+    RouterStats* stats_;
+    Rng rng_;
+
+    PortId networkPorts_;
+    PortId numInPorts_;
+    PortId numOutPorts_;
+    std::uint32_t numVcs_;
+
+    std::vector<InputVc> inputs_;    //!< [port][vc] flattened.
+    std::vector<OutputVc> outputs_;  //!< [port][vc] flattened.
+
+    /** Backward kills accepted last delivery, processed this tick. */
+    std::vector<SentBkill> pendingBkillsAsOut_;
+
+    /** Round-robin pointers. */
+    std::vector<VcId> rrInVc_;     //!< Per input port.
+    std::vector<PortId> rrOutIn_;  //!< Per output port.
+
+    /** Output ports already used this cycle (kills, switch winners). */
+    std::vector<bool> outPortBusy_;
+
+    /** Current cycle (set at tick entry; used by helpers). */
+    Cycle now_ = 0;
+
+    /** Scratch candidate list (avoids per-header allocation). */
+    mutable std::vector<Candidate> scratch_;
+};
+
+} // namespace crnet
+
+#endif // CRNET_ROUTER_ROUTER_HH

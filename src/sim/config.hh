@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Simulation configuration: one plain struct that fully describes a
+ * network experiment, plus string-based overrides for CLI tools.
+ *
+ * Every example and benchmark builds a SimConfig, optionally applies
+ * `key=value` overrides from the command line, validates it, and hands
+ * it to Network / ExperimentRunner.
+ */
+
+#ifndef CRNET_SIM_CONFIG_HH
+#define CRNET_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace crnet {
+
+/** Network topology family. */
+enum class TopologyKind { Torus, Mesh };
+
+/** Routing algorithm selection. */
+enum class RoutingKind {
+    DimensionOrder,    //!< Deterministic DOR; dateline VCs on tori.
+    MinimalAdaptive,   //!< Fully adaptive minimal (CR's routing relation).
+    Duato,             //!< Adaptive VCs + DOR escape VCs (baseline, PDS).
+    WestFirst,         //!< Turn-model routing (mesh only).
+    NegativeFirst,     //!< Turn-model routing (mesh only).
+    PlanarAdaptive     //!< Chien/Kim planar-adaptive (2D mesh, 3 VCs).
+};
+
+/** End-to-end protocol run by the network interfaces. */
+enum class ProtocolKind {
+    None,  //!< Plain wormhole; relies on the routing algorithm alone.
+    Cr,    //!< Compressionless Routing: pad + timeout + kill + retry.
+    Fcr    //!< Fault-tolerant CR: round-trip pad + checksums + kills.
+};
+
+/** How a potential deadlock situation is detected. */
+enum class TimeoutScheme {
+    SourceStall,  //!< Kill after `timeout` consecutive stalled cycles.
+    SourceImin,   //!< Kill when injected flits fall behind I_min(t).
+    PathWide,     //!< Kill when any router on the path stalls too long
+                  //!< (the paper's inferior alternative, Sec. 7).
+    DropAtBlock   //!< BBN-Butterfly/abort-and-retry style (the
+                  //!< related work of Sec. 8): a router drops a worm
+                  //!< whose *header* has been blocked `timeout`
+                  //!< cycles, rejecting back to the source.
+};
+
+/** Retransmission gap policy after a kill. */
+enum class BackoffScheme {
+    Static,      //!< Fixed gap of `backoffGap` cycles.
+    Exponential  //!< Binary exponential backoff (dynamic scheme).
+};
+
+/** Synthetic traffic spatial patterns. */
+enum class TrafficPattern {
+    Uniform,
+    BitComplement,
+    Transpose,
+    BitReversal,
+    Hotspot,
+    Neighbor,
+    Tornado  //!< k/2-1 offset along dimension 0: the classic
+             //!< adversarial torus pattern for deterministic routing.
+};
+
+/** Complete description of one simulated network + workload. */
+struct SimConfig
+{
+    // --- Topology -------------------------------------------------
+    TopologyKind topology = TopologyKind::Torus;
+    std::uint32_t radixK = 16;      //!< Nodes per dimension.
+    std::uint32_t dimensionsN = 2;  //!< Number of dimensions.
+
+    // --- Router ---------------------------------------------------
+    std::uint32_t numVcs = 1;        //!< Virtual channels per physical.
+    std::uint32_t bufferDepth = 2;   //!< Flits of buffering per VC.
+    std::uint32_t injectionChannels = 1;  //!< Parallel source channels.
+    std::uint32_t ejectionChannels = 1;   //!< Parallel sink channels.
+    /**
+     * Cycles a flit (and, symmetrically, a returning credit or kill
+     * hop) spends on a router-to-router channel — the paper's "deep
+     * networks" knob (long physical wires). NIC channels stay at 1.
+     */
+    std::uint32_t channelLatency = 1;
+
+    // --- Routing / protocol ----------------------------------------
+    RoutingKind routing = RoutingKind::MinimalAdaptive;
+    ProtocolKind protocol = ProtocolKind::Cr;
+    TimeoutScheme timeoutScheme = TimeoutScheme::SourceStall;
+    Cycle timeout = 32;              //!< Stall cycles before a kill.
+    BackoffScheme backoff = BackoffScheme::Exponential;
+    Cycle backoffGap = 16;           //!< Gap for Static; base for Exp.
+    Cycle backoffCap = 1024;         //!< Max exponential gap.
+    std::uint32_t misrouteAfterRetries = 0;  //!< 0 = never misroute.
+    std::uint32_t misrouteBudget = 4;  //!< Non-minimal hops per attempt.
+    std::uint32_t maxRetries = 0;    //!< Drop after this many kills;
+                                     //!< 0 = retry forever.
+    /**
+     * Hold back a message while an earlier message to the same
+     * destination is unfinished (preserves per-(src,dst) order even
+     * with several worms in flight). Disable to measure what the
+     * ordering guarantee costs — receivers then count violations.
+     */
+    bool enforceDestOrder = true;
+    std::uint32_t padSlack = 2;      //!< Extra pad flits beyond depth.
+
+    // --- Traffic ----------------------------------------------------
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    double injectionRate = 0.1;      //!< Flits/node/cycle offered.
+    std::uint32_t messageLength = 16;   //!< Payload flits (incl. head).
+    std::uint32_t messageLengthB = 0;   //!< Second mode (bimodal); 0=off.
+    double bimodalFracB = 0.0;       //!< Fraction of B-length messages.
+    double hotspotFraction = 0.2;    //!< Extra traffic share to hotspot.
+    std::uint32_t maxPendingPerNode = 64;  //!< Source queue bound.
+
+    // --- Faults -----------------------------------------------------
+    double transientFaultRate = 0.0;  //!< P(corrupt) per flit-hop.
+    std::uint32_t permanentLinkFaults = 0;  //!< Dead links at t=0.
+
+    // --- Experiment ---------------------------------------------------
+    std::uint64_t seed = 1;
+    Cycle warmupCycles = 2000;
+    Cycle measureCycles = 10000;
+    Cycle drainCycles = 100000;       //!< Cap on the drain phase.
+    Cycle deadlockThreshold = 20000;  //!< Network-idle watchdog.
+
+    /** Total nodes in the configured topology. */
+    std::uint64_t numNodes() const;
+
+    /**
+     * Validate the configuration; calls fatal() with a diagnostic on
+     * any unusable combination (e.g. turn-model routing on a torus,
+     * CR protocol with a non-adaptive routing relation is allowed but
+     * protocol None with adaptive routing on a torus is flagged by
+     * the deadlock watchdog at run time, not here).
+     */
+    void validate() const;
+
+    /**
+     * Apply a `key=value` override (CLI syntax). Unknown keys are
+     * fatal. Returns *this for chaining.
+     */
+    SimConfig& set(const std::string& key, const std::string& value);
+
+    /** Apply argv-style overrides (each element `key=value`). */
+    SimConfig& applyArgs(int argc, char** argv);
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+/** Enum <-> string conversions (fatal on unknown names). */
+std::string toString(TopologyKind k);
+std::string toString(RoutingKind k);
+std::string toString(ProtocolKind k);
+std::string toString(TimeoutScheme k);
+std::string toString(BackoffScheme k);
+std::string toString(TrafficPattern k);
+
+TopologyKind topologyFromString(const std::string& s);
+RoutingKind routingFromString(const std::string& s);
+ProtocolKind protocolFromString(const std::string& s);
+TimeoutScheme timeoutSchemeFromString(const std::string& s);
+BackoffScheme backoffFromString(const std::string& s);
+TrafficPattern patternFromString(const std::string& s);
+
+} // namespace crnet
+
+#endif // CRNET_SIM_CONFIG_HH

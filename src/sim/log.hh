@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant of the simulator was violated; this is
+ *            a crnet bug. Aborts (so a debugger/core dump is useful).
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, impossible parameter combination). Exits(1).
+ * warn()   — something is suspicious but the simulation can proceed.
+ * inform() — plain status output.
+ */
+
+#ifndef CRNET_SIM_LOG_HH
+#define CRNET_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace crnet {
+
+namespace detail {
+
+/** Stream-concatenate all arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message; use for violated internal invariants. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/** Exit with a message; use for user/configuration errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+/** Status output. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::concat(std::forward<Args>(args)...).c_str());
+}
+
+} // namespace crnet
+
+#endif // CRNET_SIM_LOG_HH

@@ -1,0 +1,86 @@
+#include "src/sim/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> columns)
+{
+    if (columns.empty())
+        panic("Table header must have at least one column");
+    header_ = std::move(columns);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (header_.empty())
+        panic("Table::setHeader must be called before addRow");
+    if (cells.size() != header_.size())
+        panic("Table row width ", cells.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::cell(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << std::string(widths[c], '-')
+           << (c + 1 == header_.size() ? "\n" : "  ");
+    }
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+} // namespace crnet

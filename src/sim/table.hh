@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aligned-text and CSV table output for benchmark harnesses.
+ *
+ * Every bench binary prints its results through Table so the rows that
+ * regenerate the paper's figures/tables all look the same and can be
+ * post-processed (CSV) identically.
+ */
+
+#ifndef CRNET_SIM_TABLE_HH
+#define CRNET_SIM_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crnet {
+
+/** A simple column-aligned results table. */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Define the column headers (must be set before rows). */
+    void setHeader(std::vector<std::string> columns);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision for a cell. */
+    static std::string cell(double v, int precision = 2);
+    /** Format an integer cell. */
+    static std::string cell(std::uint64_t v);
+
+    /** Print as aligned text. */
+    void print(std::ostream& os) const;
+
+    /** Print as CSV (header + rows, comma separated). */
+    void printCsv(std::ostream& os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    const std::string& title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace crnet
+
+#endif // CRNET_SIM_TABLE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Coordinate arithmetic for k-ary n-cube topologies.
+ *
+ * Coordinates are stored in a fixed-capacity array (max 8 dimensions)
+ * so routing never allocates. Linearization is row-major with dimension
+ * 0 fastest: id = c0 + k*c1 + k^2*c2 + ...
+ */
+
+#ifndef CRNET_TOPOLOGY_COORDINATES_HH
+#define CRNET_TOPOLOGY_COORDINATES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/log.hh"
+#include "src/sim/types.hh"
+
+namespace crnet {
+
+/** Maximum supported dimensionality. */
+inline constexpr std::uint32_t kMaxDims = 8;
+
+/** A point in a k-ary n-cube. */
+struct Coordinates
+{
+    std::array<std::uint16_t, kMaxDims> c{};
+    std::uint8_t n = 0;
+
+    std::uint16_t operator[](std::uint32_t d) const { return c[d]; }
+    std::uint16_t& operator[](std::uint32_t d) { return c[d]; }
+
+    bool
+    operator==(const Coordinates& o) const
+    {
+        if (n != o.n)
+            return false;
+        for (std::uint32_t d = 0; d < n; ++d)
+            if (c[d] != o.c[d])
+                return false;
+        return true;
+    }
+};
+
+/** Convert a linear node id to coordinates. */
+inline Coordinates
+toCoordinates(NodeId id, std::uint32_t k, std::uint32_t n)
+{
+    if (n > kMaxDims)
+        panic("dimensionality ", n, " exceeds kMaxDims");
+    Coordinates r;
+    r.n = static_cast<std::uint8_t>(n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+        r.c[d] = static_cast<std::uint16_t>(id % k);
+        id /= k;
+    }
+    return r;
+}
+
+/** Convert coordinates back to a linear node id. */
+inline NodeId
+toNodeId(const Coordinates& coords, std::uint32_t k)
+{
+    NodeId id = 0;
+    NodeId scale = 1;
+    for (std::uint32_t d = 0; d < coords.n; ++d) {
+        id += scale * coords.c[d];
+        scale *= k;
+    }
+    return id;
+}
+
+} // namespace crnet
+
+#endif // CRNET_TOPOLOGY_COORDINATES_HH

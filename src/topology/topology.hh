@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Abstract direct-network topology: k-ary n-cubes (torus) and meshes.
+ *
+ * Port convention: a router has 2*n network ports; port 2*d goes in the
+ * increasing ("plus") direction of dimension d, port 2*d+1 in the
+ * decreasing ("minus") direction. Injection/ejection are handled by the
+ * network interface, not by these ports.
+ */
+
+#ifndef CRNET_TOPOLOGY_TOPOLOGY_HH
+#define CRNET_TOPOLOGY_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/config.hh"
+#include "src/sim/types.hh"
+#include "src/topology/coordinates.hh"
+
+namespace crnet {
+
+/** Direction along one dimension. */
+enum class Direction : std::uint8_t { Plus = 0, Minus = 1 };
+
+/** Compose a port id from dimension and direction. */
+inline PortId
+makePort(std::uint32_t dim, Direction dir)
+{
+    return static_cast<PortId>(2 * dim +
+                               (dir == Direction::Minus ? 1 : 0));
+}
+
+/** Dimension of a network port. */
+inline std::uint32_t
+portDim(PortId port)
+{
+    return port / 2;
+}
+
+/** Direction of a network port. */
+inline Direction
+portDir(PortId port)
+{
+    return (port % 2) ? Direction::Minus : Direction::Plus;
+}
+
+/** Reverse port: the port on the neighbor that points back at us. */
+inline PortId
+oppositePort(PortId port)
+{
+    return static_cast<PortId>(port ^ 1);
+}
+
+/** Minimal-routing options within one dimension. */
+struct DimRoute
+{
+    bool plusMinimal = false;   //!< Moving + is on a minimal path.
+    bool minusMinimal = false;  //!< Moving - is on a minimal path.
+    std::uint32_t plusHops = 0;   //!< Hops remaining if we go +.
+    std::uint32_t minusHops = 0;  //!< Hops remaining if we go -.
+
+    bool done() const { return !plusMinimal && !minusMinimal; }
+};
+
+/**
+ * A direct k-ary n-cube network graph. Immutable once constructed;
+ * link fault state lives in the fault model / network, not here.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    TopologyKind kind() const { return kind_; }
+    std::uint32_t radix() const { return k_; }
+    std::uint32_t dims() const { return n_; }
+    NodeId numNodes() const { return numNodes_; }
+    /** Network ports per router (excludes injection/ejection). */
+    PortId numPorts() const { return static_cast<PortId>(2 * n_); }
+
+    Coordinates coords(NodeId id) const { return toCoordinates(id, k_, n_); }
+    NodeId nodeId(const Coordinates& c) const { return toNodeId(c, k_); }
+
+    /**
+     * Neighbor of `node` through `port`, or kInvalidNode when the port
+     * leaves the network (mesh boundary).
+     */
+    virtual NodeId neighbor(NodeId node, PortId port) const = 0;
+
+    /**
+     * Minimal-path options in dimension `dim` when standing at `from`
+     * heading for `to`. On a torus with delta == k/2 both directions
+     * can be minimal.
+     */
+    virtual DimRoute dimRoute(NodeId from, NodeId to,
+                              std::uint32_t dim) const = 0;
+
+    /** Minimal hop count between two nodes. */
+    std::uint32_t distance(NodeId from, NodeId to) const;
+
+    /**
+     * True when traversing `port` from `node` crosses the dateline of
+     * its dimension (the wraparound link). Always false on meshes.
+     * Used by DOR/Duato for dateline virtual-channel selection.
+     */
+    virtual bool crossesDateline(NodeId node, PortId port) const = 0;
+
+    /** Longest minimal route in the network (hops). */
+    virtual std::uint32_t diameter() const = 0;
+
+  protected:
+    Topology(TopologyKind kind, std::uint32_t k, std::uint32_t n);
+
+    TopologyKind kind_;
+    std::uint32_t k_;
+    std::uint32_t n_;
+    NodeId numNodes_;
+};
+
+/** k-ary n-cube with wraparound links. */
+class TorusTopology : public Topology
+{
+  public:
+    TorusTopology(std::uint32_t k, std::uint32_t n);
+
+    NodeId neighbor(NodeId node, PortId port) const override;
+    DimRoute dimRoute(NodeId from, NodeId to,
+                      std::uint32_t dim) const override;
+    bool crossesDateline(NodeId node, PortId port) const override;
+    std::uint32_t diameter() const override;
+};
+
+/** k-ary n-dimensional mesh (no wraparound). */
+class MeshTopology : public Topology
+{
+  public:
+    MeshTopology(std::uint32_t k, std::uint32_t n);
+
+    NodeId neighbor(NodeId node, PortId port) const override;
+    DimRoute dimRoute(NodeId from, NodeId to,
+                      std::uint32_t dim) const override;
+    bool crossesDateline(NodeId, PortId) const override { return false; }
+    std::uint32_t diameter() const override;
+};
+
+/** Factory from configuration. */
+std::unique_ptr<Topology> makeTopology(const SimConfig& cfg);
+
+} // namespace crnet
+
+#endif // CRNET_TOPOLOGY_TOPOLOGY_HH

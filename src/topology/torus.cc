@@ -1,0 +1,102 @@
+#include "src/topology/topology.hh"
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+Topology::Topology(TopologyKind kind, std::uint32_t k, std::uint32_t n)
+    : kind_(kind), k_(k), n_(n)
+{
+    if (k < 2)
+        fatal("topology radix must be >= 2");
+    if (n < 1 || n > kMaxDims)
+        fatal("topology dimensionality must be in [1, ", kMaxDims, "]");
+    std::uint64_t nodes = 1;
+    for (std::uint32_t d = 0; d < n; ++d)
+        nodes *= k;
+    if (nodes > (1ULL << 24))
+        fatal("topology too large: ", nodes, " nodes");
+    numNodes_ = static_cast<NodeId>(nodes);
+}
+
+std::uint32_t
+Topology::distance(NodeId from, NodeId to) const
+{
+    std::uint32_t hops = 0;
+    for (std::uint32_t d = 0; d < n_; ++d) {
+        const DimRoute r = dimRoute(from, to, d);
+        if (r.plusMinimal)
+            hops += r.plusHops;
+        else if (r.minusMinimal)
+            hops += r.minusHops;
+    }
+    return hops;
+}
+
+TorusTopology::TorusTopology(std::uint32_t k, std::uint32_t n)
+    : Topology(TopologyKind::Torus, k, n)
+{
+}
+
+NodeId
+TorusTopology::neighbor(NodeId node, PortId port) const
+{
+    const std::uint32_t d = portDim(port);
+    if (d >= n_)
+        panic("port ", port, " out of range for ", n_, " dimensions");
+    Coordinates c = coords(node);
+    if (portDir(port) == Direction::Plus)
+        c[d] = static_cast<std::uint16_t>((c[d] + 1) % k_);
+    else
+        c[d] = static_cast<std::uint16_t>((c[d] + k_ - 1) % k_);
+    return nodeId(c);
+}
+
+DimRoute
+TorusTopology::dimRoute(NodeId from, NodeId to, std::uint32_t dim) const
+{
+    const Coordinates a = coords(from);
+    const Coordinates b = coords(to);
+    DimRoute r;
+    if (a[dim] == b[dim])
+        return r;
+    const std::uint32_t plus = (b[dim] + k_ - a[dim]) % k_;
+    const std::uint32_t minus = k_ - plus;
+    r.plusHops = plus;
+    r.minusHops = minus;
+    r.plusMinimal = plus <= minus;
+    r.minusMinimal = minus <= plus;
+    return r;
+}
+
+bool
+TorusTopology::crossesDateline(NodeId node, PortId port) const
+{
+    const std::uint32_t d = portDim(port);
+    const Coordinates c = coords(node);
+    if (portDir(port) == Direction::Plus)
+        return c[d] == k_ - 1;
+    return c[d] == 0;
+}
+
+std::uint32_t
+TorusTopology::diameter() const
+{
+    return n_ * (k_ / 2);
+}
+
+std::unique_ptr<Topology>
+makeTopology(const SimConfig& cfg)
+{
+    switch (cfg.topology) {
+      case TopologyKind::Torus:
+        return std::make_unique<TorusTopology>(cfg.radixK,
+                                               cfg.dimensionsN);
+      case TopologyKind::Mesh:
+        return std::make_unique<MeshTopology>(cfg.radixK,
+                                              cfg.dimensionsN);
+    }
+    panic("bad TopologyKind in makeTopology");
+}
+
+} // namespace crnet

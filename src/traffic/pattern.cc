@@ -1,0 +1,239 @@
+#include "src/traffic/pattern.hh"
+
+#include <bit>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+namespace {
+
+/** Uniform random destination over all other nodes. */
+class UniformPattern : public Pattern
+{
+  public:
+    explicit UniformPattern(NodeId num_nodes) : numNodes_(num_nodes) {}
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        // Draw from [0, N-1) and skip over src: uniform over others.
+        auto d = static_cast<NodeId>(rng.below(numNodes_ - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+  private:
+    NodeId numNodes_;
+};
+
+/** dst = bitwise complement of src (requires power-of-two N). */
+class BitComplementPattern : public Pattern
+{
+  public:
+    explicit BitComplementPattern(NodeId num_nodes)
+        : mask_(num_nodes - 1)
+    {
+        if (!std::has_single_bit(num_nodes))
+            fatal("bit_complement needs a power-of-two node count");
+    }
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        const NodeId d = ~src & mask_;
+        if (d != src)
+            return d;
+        // Odd corner (cannot happen with full-width complement, but
+        // keep the no-self-traffic contract robust).
+        return (d + 1) & mask_;
+        (void)rng;
+    }
+
+  private:
+    NodeId mask_;
+};
+
+/** (x, y) -> (y, x) on 2D networks. */
+class TransposePattern : public Pattern
+{
+  public:
+    explicit TransposePattern(const Topology& topo) : topo_(topo)
+    {
+        if (topo.dims() != 2)
+            fatal("transpose pattern needs a 2D network");
+    }
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        Coordinates c = topo_.coords(src);
+        std::swap(c[0], c[1]);
+        const NodeId d = topo_.nodeId(c);
+        if (d != src)
+            return d;
+        // Diagonal nodes map to themselves; send uniformly instead so
+        // they still offer load.
+        auto alt = static_cast<NodeId>(
+            rng.below(topo_.numNodes() - 1));
+        return alt >= src ? alt + 1 : alt;
+    }
+
+  private:
+    const Topology& topo_;
+};
+
+/** dst = bit-reversed src (requires power-of-two N). */
+class BitReversalPattern : public Pattern
+{
+  public:
+    explicit BitReversalPattern(NodeId num_nodes)
+    {
+        if (!std::has_single_bit(num_nodes))
+            fatal("bit_reversal needs a power-of-two node count");
+        bits_ = static_cast<std::uint32_t>(
+            std::countr_zero(num_nodes));
+        numNodes_ = num_nodes;
+    }
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        NodeId d = 0;
+        for (std::uint32_t b = 0; b < bits_; ++b)
+            if (src & (NodeId{1} << b))
+                d |= NodeId{1} << (bits_ - 1 - b);
+        if (d != src)
+            return d;
+        auto alt = static_cast<NodeId>(rng.below(numNodes_ - 1));
+        return alt >= src ? alt + 1 : alt;
+    }
+
+  private:
+    std::uint32_t bits_ = 0;
+    NodeId numNodes_ = 0;
+};
+
+/** A fraction of traffic goes to one hot node; the rest is uniform. */
+class HotspotPattern : public Pattern
+{
+  public:
+    HotspotPattern(const Topology& topo, double hot_fraction)
+        : numNodes_(topo.numNodes()), hotFraction_(hot_fraction)
+    {
+        // The hotspot sits at the network center-ish node for meshes
+        // and node 0 for tori (all torus nodes are equivalent).
+        if (topo.kind() == TopologyKind::Mesh) {
+            Coordinates c;
+            c.n = static_cast<std::uint8_t>(topo.dims());
+            for (std::uint32_t d = 0; d < topo.dims(); ++d)
+                c[d] = static_cast<std::uint16_t>(topo.radix() / 2);
+            hot_ = topo.nodeId(c);
+        } else {
+            hot_ = 0;
+        }
+    }
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        if (src != hot_ && rng.chance(hotFraction_))
+            return hot_;
+        auto d = static_cast<NodeId>(rng.below(numNodes_ - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+  private:
+    NodeId numNodes_;
+    double hotFraction_;
+    NodeId hot_ = 0;
+};
+
+/** One random +1 hop in a random dimension (nearest neighbor). */
+class NeighborPattern : public Pattern
+{
+  public:
+    explicit NeighborPattern(const Topology& topo) : topo_(topo) {}
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        // Try a few random ports; meshes have boundary nodes whose
+        // first pick may leave the network.
+        for (int tries = 0; tries < 16; ++tries) {
+            const auto port = static_cast<PortId>(
+                rng.below(topo_.numPorts()));
+            const NodeId d = topo_.neighbor(src, port);
+            if (d != kInvalidNode && d != src)
+                return d;
+        }
+        // Degenerate topologies (k=2 rings alias neighbors); fall back
+        // to uniform.
+        auto d = static_cast<NodeId>(rng.below(topo_.numNodes() - 1));
+        return d >= src ? d + 1 : d;
+    }
+
+  private:
+    const Topology& topo_;
+};
+
+/**
+ * dst = src + (k/2 - 1) along dimension 0. On a torus every message
+ * wants the same rotational direction, which concentrates load on
+ * half the ring links: deterministic routing cannot balance it, while
+ * adaptive routing can spill to the other direction. The classic
+ * adversarial pattern for DOR on tori.
+ */
+class TornadoPattern : public Pattern
+{
+  public:
+    explicit TornadoPattern(const Topology& topo) : topo_(topo)
+    {
+        if (topo.radix() < 3)
+            fatal("tornado needs radix >= 3");
+    }
+
+    NodeId
+    destination(NodeId src, Rng& rng) const override
+    {
+        Coordinates c = topo_.coords(src);
+        const auto k = static_cast<std::uint16_t>(topo_.radix());
+        c[0] = static_cast<std::uint16_t>(
+            (c[0] + k / 2 - 1 + (k % 2)) % k);
+        const NodeId d = topo_.nodeId(c);
+        if (d != src)
+            return d;
+        auto alt = static_cast<NodeId>(
+            rng.below(topo_.numNodes() - 1));
+        return alt >= src ? alt + 1 : alt;
+    }
+
+  private:
+    const Topology& topo_;
+};
+
+} // namespace
+
+std::unique_ptr<Pattern>
+makePattern(const SimConfig& cfg, const Topology& topo)
+{
+    switch (cfg.pattern) {
+      case TrafficPattern::Uniform:
+        return std::make_unique<UniformPattern>(topo.numNodes());
+      case TrafficPattern::BitComplement:
+        return std::make_unique<BitComplementPattern>(topo.numNodes());
+      case TrafficPattern::Transpose:
+        return std::make_unique<TransposePattern>(topo);
+      case TrafficPattern::BitReversal:
+        return std::make_unique<BitReversalPattern>(topo.numNodes());
+      case TrafficPattern::Hotspot:
+        return std::make_unique<HotspotPattern>(topo,
+                                                cfg.hotspotFraction);
+      case TrafficPattern::Neighbor:
+        return std::make_unique<NeighborPattern>(topo);
+      case TrafficPattern::Tornado:
+        return std::make_unique<TornadoPattern>(topo);
+    }
+    panic("bad TrafficPattern in makePattern");
+}
+
+} // namespace crnet

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Spatial traffic patterns: map a source node to a destination.
+ *
+ * Uniform is the paper's workload; the permutation patterns
+ * (bit-complement, transpose, bit-reversal) and hotspot/neighbor are
+ * the standard k-ary n-cube stress patterns used to exercise the
+ * adaptive-routing advantage the paper argues for.
+ */
+
+#ifndef CRNET_TRAFFIC_PATTERN_HH
+#define CRNET_TRAFFIC_PATTERN_HH
+
+#include <memory>
+
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+#include "src/topology/topology.hh"
+
+namespace crnet {
+
+/** Destination selector. */
+class Pattern
+{
+  public:
+    virtual ~Pattern() = default;
+
+    /**
+     * Destination for a message from `src`. Never returns `src`
+     * itself (self-traffic does not enter the network).
+     */
+    virtual NodeId destination(NodeId src, Rng& rng) const = 0;
+};
+
+/**
+ * Build the configured pattern. Patterns that need structural
+ * properties (power-of-two node count, 2 dimensions) reject unusable
+ * topologies via fatal().
+ */
+std::unique_ptr<Pattern> makePattern(const SimConfig& cfg,
+                                     const Topology& topo);
+
+} // namespace crnet
+
+#endif // CRNET_TRAFFIC_PATTERN_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for retransmission-gap policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/nic/backoff.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Backoff, StaticGapIsConstant)
+{
+    SimConfig cfg;
+    cfg.backoff = BackoffScheme::Static;
+    cfg.backoffGap = 24;
+    Rng rng(1);
+    for (std::uint32_t kills = 1; kills < 10; ++kills)
+        EXPECT_EQ(retransmissionGap(cfg, kills, rng), 24u);
+}
+
+TEST(Backoff, ExponentialStaysInWindow)
+{
+    SimConfig cfg;
+    cfg.backoff = BackoffScheme::Exponential;
+    cfg.backoffGap = 16;
+    cfg.backoffCap = 100000;
+    Rng rng(2);
+    for (std::uint32_t kills = 1; kills <= 8; ++kills) {
+        const std::uint64_t window = std::uint64_t{1} << kills;
+        for (int i = 0; i < 200; ++i) {
+            const Cycle g = retransmissionGap(cfg, kills, rng);
+            EXPECT_LT(g, 16 * window);
+            EXPECT_EQ(g % 16, 0u);  // Multiples of the base gap.
+        }
+    }
+}
+
+TEST(Backoff, ExponentialMeanGrowsWithKills)
+{
+    SimConfig cfg;
+    cfg.backoff = BackoffScheme::Exponential;
+    cfg.backoffGap = 16;
+    cfg.backoffCap = 1u << 30;
+    Rng rng(3);
+    double prev_mean = -1.0;
+    for (std::uint32_t kills = 1; kills <= 6; ++kills) {
+        double sum = 0.0;
+        const int n = 4000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(
+                retransmissionGap(cfg, kills, rng));
+        const double mean = sum / n;
+        EXPECT_GT(mean, prev_mean);
+        prev_mean = mean;
+    }
+}
+
+TEST(Backoff, CapLimitsGap)
+{
+    SimConfig cfg;
+    cfg.backoff = BackoffScheme::Exponential;
+    cfg.backoffGap = 16;
+    cfg.backoffCap = 64;
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LE(retransmissionGap(cfg, 10, rng), 64u);
+}
+
+TEST(Backoff, ExponentCapsAtTen)
+{
+    SimConfig cfg;
+    cfg.backoff = BackoffScheme::Exponential;
+    cfg.backoffGap = 1;
+    cfg.backoffCap = 1u << 20;
+    Rng rng(5);
+    // kills = 50 must behave like kills = 10 (window 1024).
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(retransmissionGap(cfg, 50, rng), 1024u);
+}
+
+} // namespace
+} // namespace crnet

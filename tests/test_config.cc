@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for SimConfig parsing, validation and round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/config.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Config, DefaultsValidate)
+{
+    SimConfig cfg;
+    cfg.validate();  // Must not call fatal().
+    EXPECT_EQ(cfg.numNodes(), 256u);  // 16-ary 2-cube.
+}
+
+TEST(Config, NumNodesScales)
+{
+    SimConfig cfg;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 3;
+    EXPECT_EQ(cfg.numNodes(), 64u);
+}
+
+TEST(Config, SetParsesEveryScalarKind)
+{
+    SimConfig cfg;
+    cfg.set("k", "8").set("n", "3").set("vcs", "4")
+        .set("buffer_depth", "4").set("load", "0.25")
+        .set("msg_len", "32").set("timeout", "64").set("seed", "77")
+        .set("pattern", "transpose").set("routing", "duato")
+        .set("protocol", "fcr").set("topology", "mesh")
+        .set("timeout_scheme", "path_wide").set("backoff", "static")
+        .set("fault_rate", "0.001");
+    EXPECT_EQ(cfg.radixK, 8u);
+    EXPECT_EQ(cfg.dimensionsN, 3u);
+    EXPECT_EQ(cfg.numVcs, 4u);
+    EXPECT_EQ(cfg.bufferDepth, 4u);
+    EXPECT_DOUBLE_EQ(cfg.injectionRate, 0.25);
+    EXPECT_EQ(cfg.messageLength, 32u);
+    EXPECT_EQ(cfg.timeout, 64u);
+    EXPECT_EQ(cfg.seed, 77u);
+    EXPECT_EQ(cfg.pattern, TrafficPattern::Transpose);
+    EXPECT_EQ(cfg.routing, RoutingKind::Duato);
+    EXPECT_EQ(cfg.protocol, ProtocolKind::Fcr);
+    EXPECT_EQ(cfg.topology, TopologyKind::Mesh);
+    EXPECT_EQ(cfg.timeoutScheme, TimeoutScheme::PathWide);
+    EXPECT_EQ(cfg.backoff, BackoffScheme::Static);
+    EXPECT_DOUBLE_EQ(cfg.transientFaultRate, 0.001);
+}
+
+TEST(Config, UnknownKeyIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_DEATH(cfg.set("nonsense", "1"), "unknown config key");
+}
+
+TEST(Config, BadNumberIsFatal)
+{
+    SimConfig cfg;
+    EXPECT_DEATH(cfg.set("k", "abc"), "expected integer");
+    EXPECT_DEATH(cfg.set("load", "xyz"), "expected number");
+}
+
+TEST(Config, TurnModelOnTorusRejected)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.routing = RoutingKind::WestFirst;
+    EXPECT_DEATH(cfg.validate(), "deadlock-free only on meshes");
+}
+
+TEST(Config, DorTorusWithoutVcsAndWithoutCrRejected)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.routing = RoutingKind::DimensionOrder;
+    cfg.protocol = ProtocolKind::None;
+    cfg.numVcs = 1;
+    EXPECT_DEATH(cfg.validate(), "dateline");
+}
+
+TEST(Config, DorTorusSingleVcUnderCrAccepted)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.routing = RoutingKind::DimensionOrder;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.numVcs = 1;
+    cfg.validate();
+}
+
+TEST(Config, DuatoNeedsEscapePlusAdaptive)
+{
+    SimConfig cfg;
+    cfg.routing = RoutingKind::Duato;
+    cfg.numVcs = 2;  // Torus needs 3.
+    EXPECT_DEATH(cfg.validate(), "Duato");
+    cfg.numVcs = 3;
+    cfg.validate();
+    cfg.topology = TopologyKind::Mesh;
+    cfg.numVcs = 2;  // Mesh: 1 escape + 1 adaptive.
+    cfg.validate();
+}
+
+TEST(Config, ApplyArgsParsesArgv)
+{
+    SimConfig cfg;
+    const char* argv_c[] = {"prog", "k=4", "load=0.3"};
+    cfg.applyArgs(3, const_cast<char**>(argv_c));
+    EXPECT_EQ(cfg.radixK, 4u);
+    EXPECT_DOUBLE_EQ(cfg.injectionRate, 0.3);
+}
+
+TEST(Config, EnumStringRoundTrips)
+{
+    for (auto k : {RoutingKind::DimensionOrder,
+                   RoutingKind::MinimalAdaptive, RoutingKind::Duato,
+                   RoutingKind::WestFirst, RoutingKind::NegativeFirst,
+                   RoutingKind::PlanarAdaptive})
+        EXPECT_EQ(routingFromString(toString(k)), k);
+    for (auto k : {ProtocolKind::None, ProtocolKind::Cr,
+                   ProtocolKind::Fcr})
+        EXPECT_EQ(protocolFromString(toString(k)), k);
+    for (auto k : {TrafficPattern::Uniform,
+                   TrafficPattern::BitComplement,
+                   TrafficPattern::Transpose,
+                   TrafficPattern::BitReversal, TrafficPattern::Hotspot,
+                   TrafficPattern::Neighbor, TrafficPattern::Tornado})
+        EXPECT_EQ(patternFromString(toString(k)), k);
+    for (auto k : {TimeoutScheme::SourceStall, TimeoutScheme::SourceImin,
+                   TimeoutScheme::PathWide, TimeoutScheme::DropAtBlock})
+        EXPECT_EQ(timeoutSchemeFromString(toString(k)), k);
+}
+
+TEST(Config, SummaryMentionsKeyFields)
+{
+    SimConfig cfg;
+    const std::string s = cfg.summary();
+    EXPECT_NE(s.find("torus"), std::string::npos);
+    EXPECT_NE(s.find("cr"), std::string::npos);
+}
+
+} // namespace
+} // namespace crnet

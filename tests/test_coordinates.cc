@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for coordinate linearization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/topology/coordinates.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Coordinates, RoundTripAllNodes2D)
+{
+    const std::uint32_t k = 5, n = 2;
+    for (NodeId id = 0; id < 25; ++id) {
+        const Coordinates c = toCoordinates(id, k, n);
+        EXPECT_EQ(toNodeId(c, k), id);
+    }
+}
+
+TEST(Coordinates, RoundTripAllNodes3D)
+{
+    const std::uint32_t k = 3, n = 3;
+    for (NodeId id = 0; id < 27; ++id)
+        EXPECT_EQ(toNodeId(toCoordinates(id, k, n), k), id);
+}
+
+TEST(Coordinates, Dimension0IsFastest)
+{
+    const Coordinates c = toCoordinates(7, 4, 2);  // 7 = 3 + 4*1.
+    EXPECT_EQ(c[0], 3);
+    EXPECT_EQ(c[1], 1);
+}
+
+TEST(Coordinates, EqualityComparesDimsAndValues)
+{
+    Coordinates a = toCoordinates(5, 4, 2);
+    Coordinates b = toCoordinates(5, 4, 2);
+    Coordinates c = toCoordinates(6, 4, 2);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Coordinates, TooManyDimsPanics)
+{
+    EXPECT_DEATH(toCoordinates(0, 2, 9), "kMaxDims");
+}
+
+} // namespace
+} // namespace crnet

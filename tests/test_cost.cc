@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the router cost model — the paper's implementation-
+ * complexity claims as checkable orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cost/router_cost.hh"
+
+namespace crnet {
+namespace {
+
+RouterCostParams
+params(RoutingKind routing, std::uint32_t vcs,
+       ProtocolKind protocol = ProtocolKind::None,
+       std::uint32_t depth = 2)
+{
+    RouterCostParams p;
+    p.dims = 2;
+    p.numVcs = vcs;
+    p.bufferDepth = depth;
+    p.routing = routing;
+    p.protocol = protocol;
+    return p;
+}
+
+TEST(RouterCost, CycleTimeIsMaxOfStages)
+{
+    const RouterCost c =
+        estimateRouterCost(params(RoutingKind::Duato, 3));
+    EXPECT_GE(c.cycleTime, c.routingDelay);
+    EXPECT_GE(c.cycleTime, c.vcAllocDelay);
+    EXPECT_GE(c.cycleTime, c.switchDelay);
+    EXPECT_GE(c.cycleTime, c.flowControlDelay);
+    EXPECT_DOUBLE_EQ(c.cycleTimeNs, 0.7 * c.cycleTime);
+}
+
+TEST(RouterCost, SingleVcHasNoVcAllocationStage)
+{
+    const RouterCost c = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Cr));
+    EXPECT_EQ(c.vcAllocDelay, 0.0);
+}
+
+TEST(RouterCost, CrAdaptiveNoFasterLosesToNothingSimpler)
+{
+    // The paper's central complexity claim: CR's 1-VC adaptive router
+    // cycles at least as fast as the 2-VC DOR torus router, and
+    // strictly faster than VC-rich adaptive routers.
+    const RouterCost cr = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Cr));
+    const RouterCost dor2 =
+        estimateRouterCost(params(RoutingKind::DimensionOrder, 2));
+    const RouterCost duato3 =
+        estimateRouterCost(params(RoutingKind::Duato, 3));
+    const RouterCost duato8 =
+        estimateRouterCost(params(RoutingKind::Duato, 8));
+    EXPECT_LE(cr.cycleTime, dor2.cycleTime);
+    EXPECT_LT(cr.cycleTime, duato3.cycleTime);
+    EXPECT_LT(duato3.cycleTime, duato8.cycleTime);
+}
+
+TEST(RouterCost, MoreVcsCostMoreAreaAndTime)
+{
+    const RouterCost a =
+        estimateRouterCost(params(RoutingKind::DimensionOrder, 2));
+    const RouterCost b =
+        estimateRouterCost(params(RoutingKind::DimensionOrder, 8));
+    EXPECT_LT(a.routerGates, b.routerGates);
+    EXPECT_LE(a.cycleTime, b.cycleTime);
+}
+
+TEST(RouterCost, DeeperBuffersCostAreaNotTime)
+{
+    const RouterCost a = estimateRouterCost(
+        params(RoutingKind::DimensionOrder, 2, ProtocolKind::None, 2));
+    const RouterCost b = estimateRouterCost(
+        params(RoutingKind::DimensionOrder, 2, ProtocolKind::None,
+               16));
+    EXPECT_LT(a.routerGates, b.routerGates);
+    EXPECT_DOUBLE_EQ(a.cycleTime, b.cycleTime);
+}
+
+TEST(RouterCost, CrKillSupportCostsAreaOnly)
+{
+    const RouterCost none = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::None));
+    const RouterCost cr = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Cr));
+    EXPECT_DOUBLE_EQ(none.cycleTime, cr.cycleTime);
+    EXPECT_LT(none.routerGates, cr.routerGates);
+    EXPECT_LT(none.nicGates, cr.nicGates);
+}
+
+TEST(RouterCost, FcrNicCostsMoreThanCrNic)
+{
+    const RouterCost cr = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Cr));
+    const RouterCost fcr = estimateRouterCost(
+        params(RoutingKind::MinimalAdaptive, 1, ProtocolKind::Fcr));
+    EXPECT_LT(cr.nicGates, fcr.nicGates);
+    EXPECT_DOUBLE_EQ(cr.cycleTime, fcr.cycleTime);
+}
+
+TEST(RouterCost, LabelsAreDescriptive)
+{
+    EXPECT_EQ(costLabel(params(RoutingKind::DimensionOrder, 2)),
+              "dor-2vc");
+    EXPECT_EQ(costLabel(params(RoutingKind::MinimalAdaptive, 1,
+                               ProtocolKind::Cr)),
+              "minimal_adaptive-1vc+cr");
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deep-network tests: multi-cycle channel latency (long wires), the
+ * paper's "Network Depth" discussion. Checks latency scaling, the
+ * credit round-trip throughput bound, padding growth, and that every
+ * protocol invariant survives the deeper pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.hh"
+#include "src/nic/padding.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+deepCfg(std::uint32_t latency, std::uint32_t depth = 2)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 1;
+    cfg.bufferDepth = depth;
+    cfg.channelLatency = latency;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.0;
+    cfg.seed = 31;
+    return cfg;
+}
+
+Cycle
+zeroLoadLatency(std::uint32_t chan_latency)
+{
+    Network net(deepCfg(chan_latency));
+    net.setTrafficEnabled(false);
+    const MsgId id = net.sendMessage(0, 10, 8);  // 4 hops.
+    for (Cycle i = 0; i < 5000 && !net.isDelivered(id); ++i)
+        net.tick();
+    EXPECT_TRUE(net.isDelivered(id));
+    const DeliveredMessage* d = net.deliveryRecord(id);
+    return d->deliveredAt - d->createdAt;
+}
+
+TEST(DeepChannels, LatencyGrowsWithWireLength)
+{
+    const Cycle l1 = zeroLoadLatency(1);
+    const Cycle l2 = zeroLoadLatency(2);
+    const Cycle l4 = zeroLoadLatency(4);
+    EXPECT_GT(l2, l1);
+    EXPECT_GT(l4, l2);
+    // Head latency grows by ~hops*(L-1); serialization also slows
+    // because deeper pipes lengthen the padded wire. Sanity bound:
+    EXPECT_LT(l4, 12 * l1);
+}
+
+TEST(DeepChannels, PaddingGrowsWithChannelLatency)
+{
+    EXPECT_LT(wireLength(ProtocolKind::Cr, 8, 4, 2, 2, 1),
+              wireLength(ProtocolKind::Cr, 8, 4, 2, 2, 4));
+    EXPECT_EQ(pathFlitCapacity(4, 2, 4), 6u * 2 + 4 * 4 + 2);
+}
+
+TEST(DeepChannels, CreditRoundTripBoundsThroughput)
+{
+    // With depth 2 and latency 4, one VC sustains at most
+    // 2 / (2*4 + ~1) flits/cycle. Deeper buffers restore full rate —
+    // the classic reason deep networks need more buffering.
+    auto net_latency = [&](std::uint32_t depth) {
+        Network net(deepCfg(4, depth));
+        net.setTrafficEnabled(false);
+        const MsgId id = net.sendMessage(0, 10, 32);
+        for (Cycle i = 0; i < 20000 && !net.isDelivered(id); ++i)
+            net.tick();
+        EXPECT_TRUE(net.isDelivered(id));
+        const DeliveredMessage* d = net.deliveryRecord(id);
+        return d->deliveredAt - d->headInjectedAt;
+    };
+    const Cycle shallow = net_latency(2);
+    const Cycle deep = net_latency(12);
+    EXPECT_LT(deep, shallow);
+}
+
+TEST(DeepChannels, InvariantsHoldUnderLoadAndKills)
+{
+    SimConfig cfg = deepCfg(3);
+    cfg.injectionRate = 0.15;
+    cfg.timeout = 48;
+    Network net(cfg);
+    for (Cycle i = 0; i < 8000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked());
+    }
+    net.setTrafficEnabled(false);
+    Cycle spent = 0;
+    while (!net.quiescent() && spent < 60000) {
+        net.tick();
+        ++spent;
+    }
+    ASSERT_TRUE(net.quiescent());
+    const NetworkStats& s = net.stats();
+    EXPECT_GT(s.messagesDelivered.value(), 50u);
+    EXPECT_EQ(s.flitsInjected.value(),
+              s.flitsConsumed.value() + s.router.flitsPurged.value() +
+                  s.router.stragglersDropped.value());
+    EXPECT_EQ(s.messagesCommitted.value(),
+              s.messagesDelivered.value());
+    EXPECT_EQ(s.orderViolations.value(), 0u);
+    EXPECT_EQ(s.duplicateDeliveries.value(), 0u);
+}
+
+TEST(DeepChannels, KillRecoveryWorksAcrossDeepPipes)
+{
+    SimConfig cfg = deepCfg(4);
+    cfg.injectionRate = 0.3;
+    cfg.messageLength = 16;
+    cfg.timeout = 64;
+    Network net(cfg);
+    for (Cycle i = 0; i < 15000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked());
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 50u);
+}
+
+TEST(DeepChannels, FcrStillNeverDeliversCorrupted)
+{
+    SimConfig cfg = deepCfg(2);
+    cfg.protocol = ProtocolKind::Fcr;
+    cfg.transientFaultRate = 0.001;
+    cfg.injectionRate = 0.05;
+    cfg.timeout = 48;
+    Network net(cfg);
+    for (Cycle i = 0; i < 20000; ++i)
+        net.tick();
+    EXPECT_GT(net.stats().messagesDelivered.value(), 30u);
+    EXPECT_EQ(net.stats().corruptedDeliveries.value(), 0u);
+}
+
+TEST(DeepChannels, ConfigBoundsEnforced)
+{
+    SimConfig cfg;
+    cfg.channelLatency = 0;
+    EXPECT_DEATH(cfg.validate(), "channelLatency");
+    cfg.channelLatency = 65;
+    EXPECT_DEATH(cfg.validate(), "channelLatency");
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The "k-ary n-cube" in the title is general: rings (n=1), 3D tori
+ * and lines must all work. These tests run the full protocol stack on
+ * non-2D shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+shape(TopologyKind topo, std::uint32_t k, std::uint32_t n,
+      RoutingKind routing, ProtocolKind protocol,
+      std::uint32_t vcs = 1)
+{
+    SimConfig cfg;
+    cfg.topology = topo;
+    cfg.radixK = k;
+    cfg.dimensionsN = n;
+    cfg.routing = routing;
+    cfg.protocol = protocol;
+    cfg.numVcs = vcs;
+    cfg.messageLength = 8;
+    cfg.injectionRate = 0.1;
+    cfg.seed = 77;
+    return cfg;
+}
+
+void
+runsHealthy(const SimConfig& cfg, Cycle cycles = 8000)
+{
+    Network net(cfg);
+    for (Cycle i = 0; i < cycles; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked());
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 30u);
+    EXPECT_EQ(net.stats().orderViolations.value(), 0u);
+    EXPECT_EQ(net.stats().duplicateDeliveries.value(), 0u);
+}
+
+TEST(Dimensionality, RingUnderCr)
+{
+    runsHealthy(shape(TopologyKind::Torus, 16, 1,
+                      RoutingKind::MinimalAdaptive, ProtocolKind::Cr));
+}
+
+TEST(Dimensionality, RingDorWithDatelines)
+{
+    runsHealthy(shape(TopologyKind::Torus, 16, 1,
+                      RoutingKind::DimensionOrder, ProtocolKind::None,
+                      2));
+}
+
+TEST(Dimensionality, LineMeshDor)
+{
+    runsHealthy(shape(TopologyKind::Mesh, 16, 1,
+                      RoutingKind::DimensionOrder,
+                      ProtocolKind::None));
+}
+
+TEST(Dimensionality, Torus3dUnderCr)
+{
+    runsHealthy(shape(TopologyKind::Torus, 4, 3,
+                      RoutingKind::MinimalAdaptive, ProtocolKind::Cr));
+}
+
+TEST(Dimensionality, Torus3dDuato)
+{
+    runsHealthy(shape(TopologyKind::Torus, 4, 3, RoutingKind::Duato,
+                      ProtocolKind::None, 3));
+}
+
+TEST(Dimensionality, Mesh3dUnderFcrWithFaults)
+{
+    SimConfig cfg = shape(TopologyKind::Mesh, 4, 3,
+                          RoutingKind::MinimalAdaptive,
+                          ProtocolKind::Fcr);
+    cfg.transientFaultRate = 0.0005;
+    cfg.injectionRate = 0.05;
+    Network net(cfg);
+    for (Cycle i = 0; i < 12000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked());
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 30u);
+    EXPECT_EQ(net.stats().corruptedDeliveries.value(), 0u);
+}
+
+TEST(Dimensionality, Torus4dSmall)
+{
+    // 2-ary 4-cube = 16-node hypercube-like torus. k=2 is the
+    // degenerate radix where +1 and -1 reach the same neighbor.
+    runsHealthy(shape(TopologyKind::Torus, 2, 4,
+                      RoutingKind::MinimalAdaptive, ProtocolKind::Cr),
+                10000);
+}
+
+TEST(Dimensionality, DistanceOnRing)
+{
+    TorusTopology ring(10, 1);
+    EXPECT_EQ(ring.distance(0, 5), 5u);
+    EXPECT_EQ(ring.distance(0, 7), 3u);
+    EXPECT_EQ(ring.diameter(), 5u);
+}
+
+TEST(Dimensionality, DistanceIn3d)
+{
+    TorusTopology t(4, 3);
+    // (0,0,0) to (2,3,1): 2 + 1 + 1 = 4 hops.
+    const NodeId dst = 2 + 3 * 4 + 1 * 16;
+    EXPECT_EQ(t.distance(0, dst), 4u);
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the experiment harness: phases, summaries, sweeps,
+ * saturation search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+quickCfg()
+{
+    SimConfig cfg;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.1;
+    cfg.messageLength = 8;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.drainCycles = 30000;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(Experiment, LowLoadRunDrainsWithSaneNumbers)
+{
+    const RunResult r = runExperiment(quickCfg());
+    EXPECT_TRUE(r.drained);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_GT(r.measuredMessages, 0u);
+    EXPECT_EQ(r.deliveredMeasured, r.measuredMessages);
+    EXPECT_GT(r.avgLatency, 0.0);
+    EXPECT_GE(r.avgLatency, r.netLatency);
+    EXPECT_NEAR(r.acceptedThroughput, r.offeredLoad, 0.03);
+    EXPECT_GE(r.p95Latency, r.p50Latency);
+    EXPECT_GE(r.p99Latency, r.p95Latency);
+    EXPECT_EQ(r.orderViolations, 0u);
+    EXPECT_EQ(r.duplicateDeliveries, 0u);
+    EXPECT_EQ(r.corruptedDeliveries, 0u);
+}
+
+TEST(Experiment, LatencyIncreasesWithLoad)
+{
+    const auto results = sweepLoads(quickCfg(), {0.05, 0.3});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_LT(results[0].avgLatency, results[1].avgLatency);
+}
+
+TEST(Experiment, ResultsAreReproducibleAcrossRuns)
+{
+    const RunResult a = runExperiment(quickCfg());
+    const RunResult b = runExperiment(quickCfg());
+    EXPECT_EQ(a.measuredMessages, b.measuredMessages);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.totalKills, b.totalKills);
+}
+
+TEST(Experiment, DifferentSeedsDiffer)
+{
+    SimConfig cfg = quickCfg();
+    const RunResult a = runExperiment(cfg);
+    cfg.seed = 999;
+    const RunResult b = runExperiment(cfg);
+    EXPECT_NE(a.measuredMessages, b.measuredMessages);
+}
+
+TEST(Experiment, SaturationSearchFindsReasonablePoint)
+{
+    SimConfig cfg = quickCfg();
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 800;
+    cfg.drainCycles = 8000;
+    const double sat = findSaturationLoad(cfg, 0.05, 1.0, 0.05, 400.0);
+    // A 4x4 CR torus saturates well above trickle load and cannot
+    // exceed the injection bound.
+    EXPECT_GT(sat, 0.1);
+    EXPECT_LT(sat, 1.0);
+}
+
+TEST(Experiment, ReplicatedRunsAggregateAcrossSeeds)
+{
+    SimConfig cfg = quickCfg();
+    const ReplicatedResult rep = runReplicated(cfg, 3);
+    EXPECT_EQ(rep.replications, 3u);
+    EXPECT_TRUE(rep.allDrained);
+    EXPECT_FALSE(rep.anyDeadlock);
+    EXPECT_GT(rep.meanLatency, 0.0);
+    EXPECT_GT(rep.meanThroughput, 0.0);
+    // Different seeds genuinely differ, so the CI is nonzero but far
+    // smaller than the mean at this easy operating point.
+    EXPECT_GT(rep.latencyCi95, 0.0);
+    EXPECT_LT(rep.latencyCi95, rep.meanLatency);
+}
+
+TEST(Experiment, ReplicatedZeroIsFatal)
+{
+    EXPECT_DEATH(runReplicated(quickCfg(), 0), "replication");
+}
+
+TEST(Experiment, OverloadedRunReportsNotDrained)
+{
+    SimConfig cfg = quickCfg();
+    cfg.injectionRate = 0.95;
+    cfg.messageLength = 32;
+    cfg.drainCycles = 2000;  // Deliberately too small to drain.
+    const RunResult r = runExperiment(cfg);
+    EXPECT_FALSE(r.drained);
+}
+
+} // namespace
+} // namespace crnet

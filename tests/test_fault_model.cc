@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the fault-injection model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_model.hh"
+
+namespace crnet {
+namespace {
+
+TEST(FaultModel, AllLinksHealthyByDefault)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(1));
+    for (NodeId n = 0; n < t.numNodes(); ++n)
+        for (PortId p = 0; p < t.numPorts(); ++p)
+            EXPECT_TRUE(fm.linkOk(n, p));
+    EXPECT_EQ(fm.deadLinks().size(), 0u);
+}
+
+TEST(FaultModel, PermanentFaultsKillBothDirections)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(2));
+    fm.injectPermanentFaults(3);
+    EXPECT_EQ(fm.permanentFaultCount(), 3u);
+    const auto dead = fm.deadLinks();
+    EXPECT_EQ(dead.size(), 6u);  // 3 physical links, 2 directions.
+    for (const auto& [node, port] : dead) {
+        const NodeId nbr = t.neighbor(node, port);
+        EXPECT_FALSE(fm.linkOk(node, port));
+        EXPECT_FALSE(fm.linkOk(nbr, oppositePort(port)));
+    }
+}
+
+TEST(FaultModel, DegreeFloorIsRespected)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(3));
+    fm.injectPermanentFaults(8, 2);
+    for (NodeId n = 0; n < t.numNodes(); ++n) {
+        std::uint32_t healthy = 0;
+        for (PortId p = 0; p < t.numPorts(); ++p)
+            healthy += fm.linkOk(n, p);
+        EXPECT_GE(healthy, 2u) << "node " << n;
+    }
+}
+
+TEST(FaultModel, ImpossibleFaultCountIsFatal)
+{
+    TorusTopology t(2, 1);  // 2-node ring: 2 physical links.
+    FaultModel fm(t, 0.0, Rng(4));
+    EXPECT_DEATH(fm.injectPermanentFaults(2, 2), "permanent faults");
+}
+
+TEST(FaultModel, KillDirectedLinkIsOneWay)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(5));
+    const PortId p = makePort(0, Direction::Plus);
+    fm.killDirectedLink(0, p);
+    EXPECT_FALSE(fm.linkOk(0, p));
+    EXPECT_TRUE(fm.linkOk(t.neighbor(0, p), oppositePort(p)));
+}
+
+TEST(FaultModel, KillNonexistentLinkIsFatal)
+{
+    MeshTopology m(4, 2);
+    FaultModel fm(m, 0.0, Rng(6));
+    EXPECT_DEATH(
+        fm.killDirectedLink(0, makePort(0, Direction::Minus)),
+        "nonexistent");
+}
+
+TEST(FaultModel, TransientRateZeroNeverCorrupts)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(7));
+    Flit f;
+    f.stampCrc();
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_FALSE(fm.maybeCorrupt(f));
+    EXPECT_EQ(fm.corruptionsInjected(), 0u);
+}
+
+TEST(FaultModel, TransientRateMatchesStatistically)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.01, Rng(8));
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        Flit f;
+        f.stampCrc();
+        hits += fm.maybeCorrupt(f);
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.01, 0.002);
+    EXPECT_EQ(fm.corruptionsInjected(),
+              static_cast<std::uint64_t>(hits));
+}
+
+TEST(FaultModel, CorruptionBreaksChecksumAndSetsFlag)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 1.0, Rng(9));
+    Flit f;
+    f.payload = 0x1234;
+    f.stampCrc();
+    ASSERT_TRUE(fm.maybeCorrupt(f));
+    EXPECT_TRUE(f.corrupted);
+    EXPECT_FALSE(f.checksumOk());
+}
+
+TEST(FaultModel, BadRateRejected)
+{
+    TorusTopology t(4, 2);
+    EXPECT_DEATH(FaultModel(t, 1.5, Rng(10)), "rate");
+}
+
+} // namespace
+} // namespace crnet

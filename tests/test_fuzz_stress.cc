@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Randomized stress: draw whole network configurations at random
+ * (topology, shape, VCs, depths, channel latency, protocol, loads,
+ * faults), run them hot, quiesce, and assert every system invariant.
+ * Any panic inside the simulator (credit overflow, interleaved worms,
+ * out-of-order assembly...) also fails the test, so this sweeps the
+ * corner-case space the targeted tests cannot enumerate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+randomConfig(Rng& rng)
+{
+    SimConfig cfg;
+    cfg.topology = rng.chance(0.5) ? TopologyKind::Torus
+                                   : TopologyKind::Mesh;
+    cfg.radixK = static_cast<std::uint32_t>(rng.between(3, 6));
+    cfg.dimensionsN = static_cast<std::uint32_t>(rng.between(1, 3));
+    cfg.numVcs = static_cast<std::uint32_t>(rng.between(1, 4));
+    cfg.bufferDepth = static_cast<std::uint32_t>(rng.between(1, 4));
+    cfg.channelLatency =
+        static_cast<std::uint32_t>(rng.between(1, 3));
+    cfg.injectionChannels =
+        static_cast<std::uint32_t>(rng.between(1, 2));
+    cfg.ejectionChannels =
+        static_cast<std::uint32_t>(rng.between(1, 2));
+    cfg.messageLength = static_cast<std::uint32_t>(rng.between(2, 24));
+    cfg.injectionRate = 0.02 + 0.18 * rng.uniform();
+    cfg.timeout = static_cast<Cycle>(rng.between(8, 64));
+    cfg.padSlack = static_cast<std::uint32_t>(rng.between(0, 4));
+    cfg.backoff = rng.chance(0.5) ? BackoffScheme::Static
+                                  : BackoffScheme::Exponential;
+    cfg.backoffGap = static_cast<Cycle>(rng.between(1, 32));
+    cfg.enforceDestOrder = rng.chance(0.8);
+    cfg.seed = rng.next();
+
+    // Protocol/routing draw, constrained to legal combinations.
+    const int proto = static_cast<int>(rng.below(3));
+    if (proto == 0) {
+        cfg.protocol = ProtocolKind::Cr;
+        cfg.routing = rng.chance(0.7) ? RoutingKind::MinimalAdaptive
+                                      : RoutingKind::DimensionOrder;
+    } else if (proto == 1) {
+        cfg.protocol = ProtocolKind::Fcr;
+        cfg.routing = RoutingKind::MinimalAdaptive;
+        if (rng.chance(0.5))
+            cfg.transientFaultRate = 0.002 * rng.uniform();
+        if (rng.chance(0.3) && cfg.dimensionsN >= 2 &&
+            cfg.radixK >= 4) {
+            // Smaller shapes cannot spare a link above the degree
+            // floor the fault injector maintains.
+            cfg.permanentLinkFaults = 1;
+            cfg.misrouteAfterRetries = 2;
+        }
+    } else {
+        cfg.protocol = ProtocolKind::None;
+        // Must be self-deadlock-free.
+        if (cfg.topology == TopologyKind::Torus) {
+            if (rng.chance(0.5)) {
+                cfg.routing = RoutingKind::DimensionOrder;
+                cfg.numVcs = std::max<std::uint32_t>(cfg.numVcs, 2);
+            } else {
+                cfg.routing = RoutingKind::Duato;
+                cfg.numVcs = std::max<std::uint32_t>(cfg.numVcs, 3);
+            }
+        } else {
+            cfg.routing = RoutingKind::DimensionOrder;
+        }
+    }
+    if (cfg.protocol != ProtocolKind::None && rng.chance(0.25)) {
+        cfg.timeoutScheme = rng.chance(0.5)
+            ? TimeoutScheme::SourceImin
+            : TimeoutScheme::SourceStall;
+    }
+    return cfg;
+}
+
+class FuzzStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzStress, InvariantsSurviveRandomConfigs)
+{
+    Rng meta(GetParam() * 0x9e3779b97f4a7c15ULL + 17);
+    const SimConfig cfg = randomConfig(meta);
+    SCOPED_TRACE(cfg.summary());
+    cfg.validate();
+
+    Network net(cfg);
+    for (Cycle i = 0; i < 4000; ++i) {
+        net.tick();
+        if (cfg.protocol != ProtocolKind::None ||
+            net.routing().selfDeadlockFree()) {
+            ASSERT_FALSE(net.deadlocked())
+                << "deadlock in a deadlock-free config";
+        }
+    }
+    net.setTrafficEnabled(false);
+    Cycle spent = 0;
+    while (!net.quiescent() && spent < 150000) {
+        net.tick();
+        ++spent;
+    }
+    ASSERT_TRUE(net.quiescent()) << "failed to quiesce";
+
+    const NetworkStats& s = net.stats();
+    // Flit conservation.
+    EXPECT_EQ(s.flitsInjected.value(),
+              s.flitsConsumed.value() + s.router.flitsPurged.value() +
+                  s.router.stragglersDropped.value());
+    // Exactly-once; in-order when the gate is on.
+    EXPECT_EQ(s.duplicateDeliveries.value(), 0u);
+    if (cfg.enforceDestOrder)
+        EXPECT_EQ(s.orderViolations.value(), 0u);
+    // Commit/delivery agreement under CR-family protocols.
+    if (cfg.protocol != ProtocolKind::None) {
+        EXPECT_EQ(s.messagesCommitted.value(),
+                  s.messagesDelivered.value());
+    }
+    // FCR never delivers corrupted data.
+    if (cfg.protocol == ProtocolKind::Fcr)
+        EXPECT_EQ(s.corruptedDeliveries.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzStress,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+} // namespace
+} // namespace crnet

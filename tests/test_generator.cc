@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the open-loop traffic generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/traffic/generator.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+genCfg(double load, std::uint32_t len)
+{
+    SimConfig cfg;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.injectionRate = load;
+    cfg.messageLength = len;
+    return cfg;
+}
+
+TEST(Generator, OfferedLoadMatchesConfig)
+{
+    auto cfg = genCfg(0.25, 16);
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(1));
+    EXPECT_DOUBLE_EQ(gen.offeredLoad(), 0.25);
+}
+
+TEST(Generator, ArrivalRateIsLoadOverLength)
+{
+    auto cfg = genCfg(0.32, 16);  // P(msg) = 0.02 per node-cycle.
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(2));
+    int msgs = 0;
+    const int cycles = 200000;
+    for (int t = 0; t < cycles; ++t)
+        msgs += gen.maybeGenerate(3, t, false).has_value();
+    EXPECT_NEAR(static_cast<double>(msgs) / cycles, 0.02, 0.002);
+}
+
+TEST(Generator, MessagesAreWellFormed)
+{
+    auto cfg = genCfg(0.5, 16);
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(3));
+    for (int t = 0; t < 5000; ++t) {
+        auto m = gen.maybeGenerate(7, t, true);
+        if (!m)
+            continue;
+        EXPECT_EQ(m->src, 7u);
+        EXPECT_NE(m->dst, 7u);
+        EXPECT_LT(m->dst, 16u);
+        EXPECT_EQ(m->payloadLen, 16u);
+        EXPECT_EQ(m->createdAt, static_cast<Cycle>(t));
+        EXPECT_TRUE(m->measured);
+        EXPECT_EQ(m->attempt, 0u);
+    }
+}
+
+TEST(Generator, PairSeqIncreasesPerPair)
+{
+    auto cfg = genCfg(0.5, 16);
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(4));
+    const auto a = gen.makeMessage(0, 1, 8, 0, false);
+    const auto b = gen.makeMessage(0, 1, 8, 1, false);
+    const auto c = gen.makeMessage(0, 2, 8, 2, false);
+    EXPECT_EQ(a.pairSeq, 0u);
+    EXPECT_EQ(b.pairSeq, 1u);
+    EXPECT_EQ(c.pairSeq, 0u);  // Different pair.
+}
+
+TEST(Generator, MsgIdsAreUnique)
+{
+    auto cfg = genCfg(0.5, 16);
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(5));
+    const auto a = gen.makeMessage(0, 1, 8, 0, false);
+    const auto b = gen.makeMessage(2, 3, 8, 0, false);
+    EXPECT_NE(a.id, b.id);
+    EXPECT_EQ(gen.generatedCount(), 2u);
+}
+
+TEST(Generator, BimodalMixesLengths)
+{
+    auto cfg = genCfg(0.4, 8);
+    cfg.messageLengthB = 64;
+    cfg.bimodalFracB = 0.25;
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(6));
+    int shorts = 0, longs = 0;
+    for (int t = 0; t < 400000 && longs + shorts < 2000; ++t) {
+        auto m = gen.maybeGenerate(1, t, false);
+        if (!m)
+            continue;
+        if (m->payloadLen == 8)
+            ++shorts;
+        else if (m->payloadLen == 64)
+            ++longs;
+        else
+            FAIL() << "unexpected length " << m->payloadLen;
+    }
+    const double frac_b =
+        static_cast<double>(longs) / (shorts + longs);
+    EXPECT_NEAR(frac_b, 0.25, 0.05);
+}
+
+TEST(Generator, ExcessiveRateIsFatal)
+{
+    auto cfg = genCfg(0.9, 8);
+    cfg.messageLength = 0;  // Would make P > 1... but len < 2 invalid;
+    cfg.messageLength = 2;
+    cfg.injectionRate = 2.0 * 2;  // P = 2.
+    cfg.injectionChannels = 4;    // Passes validate's rate bound.
+    auto topo = makeTopology(cfg);
+    EXPECT_DEATH(TrafficGenerator(cfg, *topo, Rng(7)),
+                 "exceeds one message per cycle");
+}
+
+TEST(Generator, SelfTrafficRequestIsFatal)
+{
+    auto cfg = genCfg(0.1, 8);
+    auto topo = makeTopology(cfg);
+    TrafficGenerator gen(cfg, *topo, Rng(8));
+    EXPECT_DEATH(gen.makeMessage(3, 3, 8, 0, false), "self-traffic");
+}
+
+} // namespace
+} // namespace crnet

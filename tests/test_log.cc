@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tests for the error-reporting helpers (gem5-style panic/fatal).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Log, ConcatStreamsAllArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+    EXPECT_EQ(detail::concat(), "");
+    EXPECT_EQ(detail::concat(42), "42");
+}
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 7, " violated"),
+                 "panic: invariant 7 violated");
+}
+
+TEST(Log, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config: ", "k"),
+                ::testing::ExitedWithCode(1), "fatal: bad config: k");
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning ", 1);
+    inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The motivating experiment: fully adaptive minimal routing on a torus
+ * with no virtual channels deadlocks under plain wormhole routing, and
+ * Compressionless Routing recovers exactly that configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+stressConfig(ProtocolKind protocol)
+{
+    // An 8x8 torus near saturation: small tori are injection-
+    // bandwidth limited and too sparsely loaded to close a cyclic
+    // wait, but at this point plain adaptive wormhole routing wedges
+    // within a few thousand cycles.
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 8;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 1;
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = protocol;
+    cfg.injectionRate = 0.8;
+    cfg.messageLength = 32;
+    cfg.deadlockThreshold = 2000;
+    cfg.seed = 12345;
+    return cfg;
+}
+
+TEST(NetworkDeadlock, AdaptiveTorusWithoutCrDeadlocks)
+{
+    Network net(stressConfig(ProtocolKind::None));
+    bool deadlocked = false;
+    for (Cycle i = 0; i < 20000 && !deadlocked; ++i) {
+        net.tick();
+        deadlocked = net.deadlocked();
+    }
+    EXPECT_TRUE(deadlocked)
+        << "adaptive wormhole routing on a torus with no VCs and no "
+           "recovery should deadlock under load";
+}
+
+TEST(NetworkDeadlock, SameConfigUnderCrDoesNotDeadlock)
+{
+    Network net(stressConfig(ProtocolKind::Cr));
+    for (Cycle i = 0; i < 15000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked()) << "at cycle " << net.now();
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 100u);
+}
+
+TEST(NetworkDeadlock, CrRecoveryActuallyFires)
+{
+    // At this load on a tiny torus, potential deadlock situations are
+    // common; CR should be observed killing and retrying.
+    Network net(stressConfig(ProtocolKind::Cr));
+    for (Cycle i = 0; i < 20000; ++i)
+        net.tick();
+    EXPECT_GT(net.stats().sourceKills.value(), 0u);
+    EXPECT_GT(net.stats().messagesDelivered.value(), 0u);
+}
+
+TEST(NetworkDeadlock, DorWithDatelinesNeverDeadlocks)
+{
+    SimConfig cfg = stressConfig(ProtocolKind::None);
+    cfg.routing = RoutingKind::DimensionOrder;
+    cfg.numVcs = 2;  // Dateline classes.
+    Network net(cfg);
+    for (Cycle i = 0; i < 15000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked()) << "at cycle " << net.now();
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 100u);
+}
+
+TEST(NetworkDeadlock, DuatoNeverDeadlocks)
+{
+    SimConfig cfg = stressConfig(ProtocolKind::None);
+    cfg.routing = RoutingKind::Duato;
+    cfg.numVcs = 3;  // 2 escape + 1 adaptive.
+    Network net(cfg);
+    for (Cycle i = 0; i < 15000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked()) << "at cycle " << net.now();
+    }
+    EXPECT_GT(net.stats().messagesDelivered.value(), 100u);
+    // Escape usage is the paper's PDS proxy; under stress it fires.
+    EXPECT_GT(net.stats().router.escapeAllocations.value(), 0u);
+}
+
+} // namespace
+} // namespace crnet

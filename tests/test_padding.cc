@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the CR/FCR padding rules — the protocol's central
+ * safety lever.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/nic/padding.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Padding, PathCapacityFormula)
+{
+    // hops=0 (adjacent NICs... minimal case: src router == dst
+    // router is impossible, but hops=1 is): capacity =
+    // (hops+2)*depth + hops + 2.
+    EXPECT_EQ(pathFlitCapacity(1, 2), 3u * 2 + 3);
+    EXPECT_EQ(pathFlitCapacity(4, 2), 6u * 2 + 6);
+    EXPECT_EQ(pathFlitCapacity(4, 8), 6u * 8 + 6);
+}
+
+TEST(Padding, NoneProtocolJustAddsTail)
+{
+    EXPECT_EQ(wireLength(ProtocolKind::None, 16, 4, 2, 2), 17u);
+    EXPECT_EQ(wireLength(ProtocolKind::None, 2, 30, 16, 2), 3u);
+}
+
+TEST(Padding, CrPadsShortMessagesToPathDepth)
+{
+    const std::uint32_t cap = pathFlitCapacity(4, 2);  // 18.
+    EXPECT_EQ(wireLength(ProtocolKind::Cr, 4, 4, 2, 2), cap + 2);
+}
+
+TEST(Padding, CrLeavesLongMessagesAlone)
+{
+    const std::uint32_t cap = pathFlitCapacity(2, 2);  // 12.
+    EXPECT_EQ(wireLength(ProtocolKind::Cr, 64, 2, 2, 2), 65u);
+    EXPECT_GT(65u, cap + 2);
+}
+
+TEST(Padding, CrWireNeverBelowCapacity)
+{
+    for (std::uint32_t hops = 1; hops <= 16; ++hops) {
+        for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+            for (std::uint32_t len : {2u, 8u, 32u, 128u}) {
+                const auto wire = wireLength(ProtocolKind::Cr, len,
+                                             hops, depth, 2);
+                EXPECT_GE(wire, pathFlitCapacity(hops, depth) + 2)
+                    << "hops=" << hops << " depth=" << depth
+                    << " len=" << len;
+                EXPECT_GE(wire, len + 1);
+            }
+        }
+    }
+}
+
+TEST(Padding, FcrAlwaysAddsFullCapacityAfterPayload)
+{
+    // FCR: every payload flit must be followed by >= capacity pads,
+    // so wire = payload + capacity + slack regardless of payload.
+    for (std::uint32_t len : {2u, 16u, 200u}) {
+        const auto wire = wireLength(ProtocolKind::Fcr, len, 4, 2, 2);
+        EXPECT_EQ(wire, len + pathFlitCapacity(4, 2) + 2);
+    }
+}
+
+TEST(Padding, FcrCostsMoreThanCr)
+{
+    for (std::uint32_t len : {2u, 16u, 64u}) {
+        EXPECT_GT(wireLength(ProtocolKind::Fcr, len, 6, 2, 2),
+                  wireLength(ProtocolKind::Cr, len, 6, 2, 2));
+    }
+}
+
+TEST(Padding, OverheadIndependentOfVcCount)
+{
+    // The paper: "padding overhead is independent of the number of
+    // virtual channels" — wire length depends on buffer depth and
+    // hops only; the VC count never enters wireLength's signature.
+    // This test documents the claim structurally.
+    const auto w = wireLength(ProtocolKind::Cr, 16, 8, 2, 2);
+    EXPECT_EQ(w, 32u);  // capacity(8,2)=30, +2 slack; payload 17 < 32.
+}
+
+TEST(Padding, RegressionAnchors)
+{
+    EXPECT_EQ(pathFlitCapacity(8, 2), 30u);
+    EXPECT_EQ(wireLength(ProtocolKind::Cr, 16, 8, 2, 2), 32u);
+    EXPECT_EQ(wireLength(ProtocolKind::Fcr, 16, 8, 2, 2), 48u);
+}
+
+TEST(Padding, DeeperBuffersPadMore)
+{
+    EXPECT_LT(wireLength(ProtocolKind::Cr, 4, 4, 2, 2),
+              wireLength(ProtocolKind::Cr, 4, 4, 16, 2));
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for spatial traffic patterns.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/traffic/pattern.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+cfgFor(TrafficPattern p, std::uint32_t k = 4, std::uint32_t n = 2,
+       TopologyKind topo = TopologyKind::Torus)
+{
+    SimConfig cfg;
+    cfg.pattern = p;
+    cfg.radixK = k;
+    cfg.dimensionsN = n;
+    cfg.topology = topo;
+    return cfg;
+}
+
+TEST(Pattern, UniformNeverSelfAndCoversAll)
+{
+    auto cfg = cfgFor(TrafficPattern::Uniform);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    std::map<NodeId, int> hits;
+    for (int i = 0; i < 20000; ++i) {
+        const NodeId d = pat->destination(5, rng);
+        ASSERT_NE(d, 5u);
+        ASSERT_LT(d, topo->numNodes());
+        ++hits[d];
+    }
+    EXPECT_EQ(hits.size(), topo->numNodes() - 1);
+    // Roughly uniform: each of the 15 others ~1333 hits.
+    for (const auto& [node, count] : hits)
+        EXPECT_NEAR(count, 20000.0 / 15.0, 250.0) << "node " << node;
+}
+
+TEST(Pattern, BitComplementIsInvolutionPermutation)
+{
+    auto cfg = cfgFor(TrafficPattern::BitComplement);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    for (NodeId s = 0; s < topo->numNodes(); ++s) {
+        const NodeId d = pat->destination(s, rng);
+        EXPECT_NE(d, s);
+        EXPECT_EQ(d, static_cast<NodeId>(~s & 0xF));
+        EXPECT_EQ(pat->destination(d, rng), s);
+    }
+}
+
+TEST(Pattern, BitComplementNeedsPowerOfTwo)
+{
+    auto cfg = cfgFor(TrafficPattern::BitComplement, 3, 2);
+    auto topo = makeTopology(cfg);
+    EXPECT_DEATH(makePattern(cfg, *topo), "power-of-two");
+}
+
+TEST(Pattern, TransposeSwapsCoordinates)
+{
+    auto cfg = cfgFor(TrafficPattern::Transpose);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    // (1, 2) = 9 -> (2, 1) = 6.
+    EXPECT_EQ(pat->destination(9, rng), 6u);
+    // Diagonal (2,2) = 10 maps to itself -> falls back to uniform.
+    const NodeId d = pat->destination(10, rng);
+    EXPECT_NE(d, 10u);
+    EXPECT_LT(d, 16u);
+}
+
+TEST(Pattern, TransposeNeeds2D)
+{
+    auto cfg = cfgFor(TrafficPattern::Transpose, 4, 3);
+    auto topo = makeTopology(cfg);
+    EXPECT_DEATH(makePattern(cfg, *topo), "2D");
+}
+
+TEST(Pattern, BitReversalReversesBits)
+{
+    auto cfg = cfgFor(TrafficPattern::BitReversal);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    // 16 nodes = 4 bits: 0b0001 -> 0b1000.
+    EXPECT_EQ(pat->destination(1, rng), 8u);
+    EXPECT_EQ(pat->destination(8, rng), 1u);
+    // Palindromes (0b0110 = 6) fall back to uniform.
+    EXPECT_NE(pat->destination(6, rng), 6u);
+}
+
+TEST(Pattern, HotspotBiasesTowardHotNode)
+{
+    auto cfg = cfgFor(TrafficPattern::Hotspot);
+    cfg.hotspotFraction = 0.5;
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    int hot_hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hot_hits += pat->destination(5, rng) == 0;
+    // 50% direct + uniform residue also occasionally hits node 0.
+    EXPECT_GT(static_cast<double>(hot_hits) / n, 0.45);
+}
+
+TEST(Pattern, NeighborIsAlwaysOneHop)
+{
+    auto cfg = cfgFor(TrafficPattern::Neighbor);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const NodeId d = pat->destination(5, rng);
+        EXPECT_EQ(topo->distance(5, d), 1u);
+    }
+}
+
+TEST(Pattern, TornadoShiftsHalfRingMinusOne)
+{
+    auto cfg = cfgFor(TrafficPattern::Tornado, 8, 2);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    // (1, 2) -> (1 + 3, 2) on an 8-ring: offset k/2 - 1 = 3.
+    EXPECT_EQ(pat->destination(1 + 2 * 8, rng), 4u + 2 * 8);
+    // Wraps around the ring.
+    EXPECT_EQ(pat->destination(6, rng), 1u);
+}
+
+TEST(Pattern, TornadoIsAPermutation)
+{
+    auto cfg = cfgFor(TrafficPattern::Tornado, 8, 2);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    std::map<NodeId, int> hits;
+    for (NodeId s = 0; s < topo->numNodes(); ++s)
+        ++hits[pat->destination(s, rng)];
+    EXPECT_EQ(hits.size(), topo->numNodes());
+    for (const auto& [node, count] : hits)
+        EXPECT_EQ(count, 1) << "node " << node;
+}
+
+TEST(Pattern, TornadoRejectsTinyRings)
+{
+    auto cfg = cfgFor(TrafficPattern::Tornado, 2, 2);
+    auto topo = makeTopology(cfg);
+    EXPECT_DEATH(makePattern(cfg, *topo), "radix");
+}
+
+TEST(Pattern, NeighborHandlesMeshCorners)
+{
+    auto cfg = cfgFor(TrafficPattern::Neighbor, 4, 2,
+                      TopologyKind::Mesh);
+    auto topo = makeTopology(cfg);
+    auto pat = makePattern(cfg, *topo);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const NodeId d = pat->destination(0, rng);  // Corner node.
+        EXPECT_NE(d, 0u);
+        EXPECT_LT(d, 16u);
+    }
+}
+
+} // namespace
+} // namespace crnet

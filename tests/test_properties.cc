@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property-based sweeps: system-wide invariants checked across a grid
+ * of topologies, routing relations, protocols and resource
+ * configurations (parameterized gtest).
+ *
+ * Invariants:
+ *  P1  flit conservation: once quiescent, every injected flit was
+ *      either consumed by a receiver, purged by a kill, or dropped as
+ *      a straggler;
+ *  P2  exactly-once, in-order delivery per (src,dst) pair;
+ *  P3  no corrupted delivery when the fault rate is zero (and none
+ *      ever under FCR);
+ *  P4  deadlock-free configurations never trip the watchdog;
+ *  P5  commit/delivery agreement for CR-family protocols.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.hh"
+
+namespace crnet {
+namespace {
+
+struct Scenario
+{
+    std::string name;
+    TopologyKind topology;
+    RoutingKind routing;
+    ProtocolKind protocol;
+    std::uint32_t vcs;
+    std::uint32_t depth;
+    std::uint32_t injCh;
+    double load;
+    double faultRate;
+};
+
+std::ostream&
+operator<<(std::ostream& os, const Scenario& s)
+{
+    return os << s.name;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(InvariantSweep, HoldsUnderLoad)
+{
+    const Scenario& sc = GetParam();
+    SimConfig cfg;
+    cfg.topology = sc.topology;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.routing = sc.routing;
+    cfg.protocol = sc.protocol;
+    cfg.numVcs = sc.vcs;
+    cfg.bufferDepth = sc.depth;
+    cfg.injectionChannels = sc.injCh;
+    cfg.ejectionChannels = sc.injCh;
+    cfg.injectionRate = sc.load;
+    cfg.messageLength = 8;
+    cfg.transientFaultRate = sc.faultRate;
+    cfg.timeout = 24;
+    cfg.seed = 1234;
+    Network net(cfg);
+
+    // Loaded phase.
+    for (Cycle i = 0; i < 6000; ++i) {
+        net.tick();
+        ASSERT_FALSE(net.deadlocked()) << "watchdog at " << net.now();
+    }
+    // Quiesce.
+    net.setTrafficEnabled(false);
+    Cycle spent = 0;
+    while (!net.quiescent() && spent < 60000) {
+        net.tick();
+        ++spent;
+    }
+    ASSERT_TRUE(net.quiescent()) << "failed to quiesce";
+
+    const NetworkStats& s = net.stats();
+    ASSERT_GT(s.messagesDelivered.value(), 20u);
+
+    // P1: flit conservation.
+    EXPECT_EQ(s.flitsInjected.value(),
+              s.flitsConsumed.value() +
+                  s.router.flitsPurged.value() +
+                  s.router.stragglersDropped.value());
+
+    // P2: order and exactly-once.
+    EXPECT_EQ(s.orderViolations.value(), 0u);
+    EXPECT_EQ(s.duplicateDeliveries.value(), 0u);
+
+    // P3: integrity.
+    if (sc.faultRate == 0.0 || sc.protocol == ProtocolKind::Fcr)
+        EXPECT_EQ(s.corruptedDeliveries.value(), 0u);
+
+    // P5: commit/delivery agreement (CR family).
+    if (sc.protocol != ProtocolKind::None) {
+        EXPECT_EQ(s.messagesCommitted.value(),
+                  s.messagesDelivered.value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InvariantSweep,
+    ::testing::Values(
+        Scenario{"cr_torus_1vc", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 1, 2,
+                 1, 0.20, 0.0},
+        Scenario{"cr_torus_2vc", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 2, 2,
+                 1, 0.30, 0.0},
+        Scenario{"cr_torus_4vc_deep", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 4, 4,
+                 1, 0.30, 0.0},
+        Scenario{"cr_torus_2ch", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 2, 2,
+                 2, 0.40, 0.0},
+        Scenario{"cr_mesh", TopologyKind::Mesh,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 1, 2,
+                 1, 0.15, 0.0},
+        Scenario{"cr_dor_torus_1vc", TopologyKind::Torus,
+                 RoutingKind::DimensionOrder, ProtocolKind::Cr, 1, 2,
+                 1, 0.15, 0.0},
+        Scenario{"fcr_torus", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Fcr, 1, 2,
+                 1, 0.08, 0.0},
+        Scenario{"fcr_torus_faulty", TopologyKind::Torus,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Fcr, 1, 2,
+                 1, 0.05, 0.001},
+        Scenario{"fcr_mesh_faulty", TopologyKind::Mesh,
+                 RoutingKind::MinimalAdaptive, ProtocolKind::Fcr, 2, 2,
+                 1, 0.05, 0.001},
+        Scenario{"dor_torus_plain", TopologyKind::Torus,
+                 RoutingKind::DimensionOrder, ProtocolKind::None, 2, 4,
+                 1, 0.20, 0.0},
+        Scenario{"dor_mesh_plain", TopologyKind::Mesh,
+                 RoutingKind::DimensionOrder, ProtocolKind::None, 1, 2,
+                 1, 0.15, 0.0},
+        Scenario{"duato_torus", TopologyKind::Torus,
+                 RoutingKind::Duato, ProtocolKind::None, 3, 2, 1,
+                 0.25, 0.0},
+        Scenario{"duato_mesh", TopologyKind::Mesh, RoutingKind::Duato,
+                 ProtocolKind::None, 2, 2, 1, 0.20, 0.0},
+        Scenario{"west_first_mesh", TopologyKind::Mesh,
+                 RoutingKind::WestFirst, ProtocolKind::None, 1, 2, 1,
+                 0.15, 0.0},
+        Scenario{"negative_first_mesh", TopologyKind::Mesh,
+                 RoutingKind::NegativeFirst, ProtocolKind::None, 2, 2,
+                 1, 0.15, 0.0},
+        Scenario{"cr_west_first_mesh", TopologyKind::Mesh,
+                 RoutingKind::WestFirst, ProtocolKind::Cr, 1, 2, 1,
+                 0.15, 0.0}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+        return info.param.name;
+    });
+
+/** Padding sweep: CR wire length always covers the path, any shape. */
+class PaddingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PaddingSweep, CommittedImpliesDelivered)
+{
+    const auto [k, len, depth] = GetParam();
+    SimConfig cfg;
+    cfg.radixK = static_cast<std::uint32_t>(k);
+    cfg.dimensionsN = 2;
+    cfg.messageLength = static_cast<std::uint32_t>(len);
+    cfg.bufferDepth = static_cast<std::uint32_t>(depth);
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.25;
+    cfg.seed = 42;
+    Network net(cfg);
+    net.run(4000);
+    net.setTrafficEnabled(false);
+    Cycle spent = 0;
+    while (!net.quiescent() && spent < 60000) {
+        net.tick();
+        ++spent;
+    }
+    ASSERT_TRUE(net.quiescent());
+    EXPECT_EQ(net.stats().messagesCommitted.value(),
+              net.stats().messagesDelivered.value());
+    EXPECT_GT(net.stats().messagesDelivered.value(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PaddingSweep,
+    ::testing::Combine(::testing::Values(4, 6),
+                       ::testing::Values(4, 16, 48),
+                       ::testing::Values(1, 2, 4)));
+
+} // namespace
+} // namespace crnet

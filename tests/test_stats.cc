@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/stats.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(42.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.mean(), 42.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.min(), 42.0);
+    EXPECT_EQ(a.max(), 42.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(a.min(), 2.0);
+    EXPECT_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Accumulator all, left, right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i < 37 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), 2.0);
+
+    Accumulator b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(10.0, 4);  // [0,10) [10,20) [20,30) [30,40) + overflow
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(35.0);
+    h.add(40.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, PercentileAtBinResolution)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.percentile(1.00), 100.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(1.0, 8);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBin)
+{
+    Histogram h(1.0, 8);
+    h.add(-5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 8);
+    h.add(3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(3), 0u);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace
+} // namespace crnet

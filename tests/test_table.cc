@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the results-table formatter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/table.hh"
+
+namespace crnet {
+namespace {
+
+TEST(Table, AlignedTextOutput)
+{
+    Table t("demo");
+    t.setHeader({"load", "latency"});
+    t.addRow({"0.1", "25.5"});
+    t.addRow({"0.25", "105.0"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("105.0"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::cell(1.0, 0), "1");
+    EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Table, RowsBeforeHeaderPanics)
+{
+    Table t("demo");
+    EXPECT_DEATH(t.addRow({"x"}), "setHeader");
+}
+
+TEST(Table, CountsRows)
+{
+    Table t("demo");
+    t.setHeader({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Split a bench_output.txt into per-table CSV files.
+
+Every crnet bench prints each results table twice: once aligned for
+reading, once as CSV after a `csv:` marker. This script walks the
+combined output of the whole suite and writes each CSV block to
+  <outdir>/<bench>__<nn>.csv
+so the numbers can be plotted or diffed without re-running anything.
+
+Usage:
+  tools/extract_csv.py bench_output.txt [outdir]   (default: bench_csv/)
+"""
+
+import os
+import re
+import sys
+
+
+def split_benches(text):
+    """Yield (bench_name, body) for each '===== name =====' section."""
+    parts = re.split(r"^===== (.+?) =====$", text, flags=re.M)
+    # parts[0] is any preamble; then alternating name, body.
+    for i in range(1, len(parts) - 1, 2):
+        yield parts[i].strip(), parts[i + 1]
+
+
+def csv_blocks(body):
+    """Yield consecutive CSV line blocks following 'csv:' markers."""
+    lines = body.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == "csv:":
+            block = []
+            i += 1
+            while i < len(lines) and "," in lines[i]:
+                block.append(lines[i])
+                i += 1
+            if block:
+                yield "\n".join(block) + "\n"
+        else:
+            i += 1
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    src = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    with open(src, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+
+    os.makedirs(outdir, exist_ok=True)
+    written = 0
+    for bench, body in split_benches(text):
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", bench)
+        for n, block in enumerate(csv_blocks(body)):
+            path = os.path.join(outdir, f"{safe}__{n:02d}.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(block)
+            written += 1
+    print(f"wrote {written} CSV files to {outdir}/")
+
+
+if __name__ == "__main__":
+    main()
