@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cr_buffers.dir/bench_abl_cr_buffers.cc.o"
+  "CMakeFiles/bench_abl_cr_buffers.dir/bench_abl_cr_buffers.cc.o.d"
+  "bench_abl_cr_buffers"
+  "bench_abl_cr_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cr_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

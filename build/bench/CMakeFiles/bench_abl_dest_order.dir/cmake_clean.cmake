@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dest_order.dir/bench_abl_dest_order.cc.o"
+  "CMakeFiles/bench_abl_dest_order.dir/bench_abl_dest_order.cc.o.d"
+  "bench_abl_dest_order"
+  "bench_abl_dest_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dest_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pad_slack.dir/bench_abl_pad_slack.cc.o"
+  "CMakeFiles/bench_abl_pad_slack.dir/bench_abl_pad_slack.cc.o.d"
+  "bench_abl_pad_slack"
+  "bench_abl_pad_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pad_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_retransmission.dir/bench_fig11_retransmission.cc.o"
+  "CMakeFiles/bench_fig11_retransmission.dir/bench_fig11_retransmission.cc.o.d"
+  "bench_fig11_retransmission"
+  "bench_fig11_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

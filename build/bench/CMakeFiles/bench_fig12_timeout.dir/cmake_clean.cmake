@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_timeout.dir/bench_fig12_timeout.cc.o"
+  "CMakeFiles/bench_fig12_timeout.dir/bench_fig12_timeout.cc.o.d"
+  "bench_fig12_timeout"
+  "bench_fig12_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14cd_vcs.dir/bench_fig14cd_vcs.cc.o"
+  "CMakeFiles/bench_fig14cd_vcs.dir/bench_fig14cd_vcs.cc.o.d"
+  "bench_fig14cd_vcs"
+  "bench_fig14cd_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14cd_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14cd_vcs.
+# This may be replaced when dependencies are built.

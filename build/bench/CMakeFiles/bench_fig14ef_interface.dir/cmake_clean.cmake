@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14ef_interface.dir/bench_fig14ef_interface.cc.o"
+  "CMakeFiles/bench_fig14ef_interface.dir/bench_fig14ef_interface.cc.o.d"
+  "bench_fig14ef_interface"
+  "bench_fig14ef_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14ef_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_fcr_permanent.dir/bench_fig16_fcr_permanent.cc.o"
+  "CMakeFiles/bench_fig16_fcr_permanent.dir/bench_fig16_fcr_permanent.cc.o.d"
+  "bench_fig16_fcr_permanent"
+  "bench_fig16_fcr_permanent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_fcr_permanent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_cost.dir/bench_tab_cost.cc.o"
+  "CMakeFiles/bench_tab_cost.dir/bench_tab_cost.cc.o.d"
+  "bench_tab_cost"
+  "bench_tab_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_latency_dist.dir/bench_tab_latency_dist.cc.o"
+  "CMakeFiles/bench_tab_latency_dist.dir/bench_tab_latency_dist.cc.o.d"
+  "bench_tab_latency_dist"
+  "bench_tab_latency_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_latency_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

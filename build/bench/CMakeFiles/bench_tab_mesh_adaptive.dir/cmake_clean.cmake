@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_mesh_adaptive.dir/bench_tab_mesh_adaptive.cc.o"
+  "CMakeFiles/bench_tab_mesh_adaptive.dir/bench_tab_mesh_adaptive.cc.o.d"
+  "bench_tab_mesh_adaptive"
+  "bench_tab_mesh_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_mesh_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_ns_adjusted.dir/bench_tab_ns_adjusted.cc.o"
+  "CMakeFiles/bench_tab_ns_adjusted.dir/bench_tab_ns_adjusted.cc.o.d"
+  "bench_tab_ns_adjusted"
+  "bench_tab_ns_adjusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_ns_adjusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_padding.dir/bench_tab_padding.cc.o"
+  "CMakeFiles/bench_tab_padding.dir/bench_tab_padding.cc.o.d"
+  "bench_tab_padding"
+  "bench_tab_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

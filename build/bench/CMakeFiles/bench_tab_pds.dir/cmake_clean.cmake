@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_pds.dir/bench_tab_pds.cc.o"
+  "CMakeFiles/bench_tab_pds.dir/bench_tab_pds.cc.o.d"
+  "bench_tab_pds"
+  "bench_tab_pds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_saturation.dir/bench_tab_saturation.cc.o"
+  "CMakeFiles/bench_tab_saturation.dir/bench_tab_saturation.cc.o.d"
+  "bench_tab_saturation"
+  "bench_tab_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_timeout_schemes.dir/bench_tab_timeout_schemes.cc.o"
+  "CMakeFiles/bench_tab_timeout_schemes.dir/bench_tab_timeout_schemes.cc.o.d"
+  "bench_tab_timeout_schemes"
+  "bench_tab_timeout_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_timeout_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vs_dor.dir/adaptive_vs_dor.cpp.o"
+  "CMakeFiles/adaptive_vs_dor.dir/adaptive_vs_dor.cpp.o.d"
+  "adaptive_vs_dor"
+  "adaptive_vs_dor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vs_dor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

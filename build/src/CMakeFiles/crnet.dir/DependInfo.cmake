@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/crnet.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/crnet.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/network.cc" "src/CMakeFiles/crnet.dir/core/network.cc.o" "gcc" "src/CMakeFiles/crnet.dir/core/network.cc.o.d"
+  "/root/repo/src/core/presets.cc" "src/CMakeFiles/crnet.dir/core/presets.cc.o" "gcc" "src/CMakeFiles/crnet.dir/core/presets.cc.o.d"
+  "/root/repo/src/cost/router_cost.cc" "src/CMakeFiles/crnet.dir/cost/router_cost.cc.o" "gcc" "src/CMakeFiles/crnet.dir/cost/router_cost.cc.o.d"
+  "/root/repo/src/fault/fault_model.cc" "src/CMakeFiles/crnet.dir/fault/fault_model.cc.o" "gcc" "src/CMakeFiles/crnet.dir/fault/fault_model.cc.o.d"
+  "/root/repo/src/nic/injector.cc" "src/CMakeFiles/crnet.dir/nic/injector.cc.o" "gcc" "src/CMakeFiles/crnet.dir/nic/injector.cc.o.d"
+  "/root/repo/src/nic/receiver.cc" "src/CMakeFiles/crnet.dir/nic/receiver.cc.o" "gcc" "src/CMakeFiles/crnet.dir/nic/receiver.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/crnet.dir/router/router.cc.o" "gcc" "src/CMakeFiles/crnet.dir/router/router.cc.o.d"
+  "/root/repo/src/routing/dor.cc" "src/CMakeFiles/crnet.dir/routing/dor.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/dor.cc.o.d"
+  "/root/repo/src/routing/duato.cc" "src/CMakeFiles/crnet.dir/routing/duato.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/duato.cc.o.d"
+  "/root/repo/src/routing/minimal_adaptive.cc" "src/CMakeFiles/crnet.dir/routing/minimal_adaptive.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/minimal_adaptive.cc.o.d"
+  "/root/repo/src/routing/planar_adaptive.cc" "src/CMakeFiles/crnet.dir/routing/planar_adaptive.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/planar_adaptive.cc.o.d"
+  "/root/repo/src/routing/routing.cc" "src/CMakeFiles/crnet.dir/routing/routing.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/routing.cc.o.d"
+  "/root/repo/src/routing/turn_model.cc" "src/CMakeFiles/crnet.dir/routing/turn_model.cc.o" "gcc" "src/CMakeFiles/crnet.dir/routing/turn_model.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/crnet.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/crnet.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/crnet.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/crnet.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/crnet.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/crnet.dir/sim/table.cc.o.d"
+  "/root/repo/src/topology/mesh.cc" "src/CMakeFiles/crnet.dir/topology/mesh.cc.o" "gcc" "src/CMakeFiles/crnet.dir/topology/mesh.cc.o.d"
+  "/root/repo/src/topology/torus.cc" "src/CMakeFiles/crnet.dir/topology/torus.cc.o" "gcc" "src/CMakeFiles/crnet.dir/topology/torus.cc.o.d"
+  "/root/repo/src/traffic/generator.cc" "src/CMakeFiles/crnet.dir/traffic/generator.cc.o" "gcc" "src/CMakeFiles/crnet.dir/traffic/generator.cc.o.d"
+  "/root/repo/src/traffic/pattern.cc" "src/CMakeFiles/crnet.dir/traffic/pattern.cc.o" "gcc" "src/CMakeFiles/crnet.dir/traffic/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coordinates.dir/test_coordinates.cc.o"
+  "CMakeFiles/test_coordinates.dir/test_coordinates.cc.o.d"
+  "test_coordinates"
+  "test_coordinates.pdb"
+  "test_coordinates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coordinates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

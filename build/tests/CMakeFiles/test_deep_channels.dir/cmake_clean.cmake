@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_channels.dir/test_deep_channels.cc.o"
+  "CMakeFiles/test_deep_channels.dir/test_deep_channels.cc.o.d"
+  "test_deep_channels"
+  "test_deep_channels.pdb"
+  "test_deep_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

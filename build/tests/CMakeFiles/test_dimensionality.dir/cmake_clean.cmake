@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimensionality.dir/test_dimensionality.cc.o"
+  "CMakeFiles/test_dimensionality.dir/test_dimensionality.cc.o.d"
+  "test_dimensionality"
+  "test_dimensionality.pdb"
+  "test_dimensionality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_basic.dir/test_network_basic.cc.o"
+  "CMakeFiles/test_network_basic.dir/test_network_basic.cc.o.d"
+  "test_network_basic"
+  "test_network_basic.pdb"
+  "test_network_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

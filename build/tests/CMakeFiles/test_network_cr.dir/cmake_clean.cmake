@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_cr.dir/test_network_cr.cc.o"
+  "CMakeFiles/test_network_cr.dir/test_network_cr.cc.o.d"
+  "test_network_cr"
+  "test_network_cr.pdb"
+  "test_network_cr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_deadlock.dir/test_network_deadlock.cc.o"
+  "CMakeFiles/test_network_deadlock.dir/test_network_deadlock.cc.o.d"
+  "test_network_deadlock"
+  "test_network_deadlock.pdb"
+  "test_network_deadlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

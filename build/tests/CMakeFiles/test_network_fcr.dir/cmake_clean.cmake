@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_fcr.dir/test_network_fcr.cc.o"
+  "CMakeFiles/test_network_fcr.dir/test_network_fcr.cc.o.d"
+  "test_network_fcr"
+  "test_network_fcr.pdb"
+  "test_network_fcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_fcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_adaptive.dir/test_routing_adaptive.cc.o"
+  "CMakeFiles/test_routing_adaptive.dir/test_routing_adaptive.cc.o.d"
+  "test_routing_adaptive"
+  "test_routing_adaptive.pdb"
+  "test_routing_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_duato.dir/test_routing_duato.cc.o"
+  "CMakeFiles/test_routing_duato.dir/test_routing_duato.cc.o.d"
+  "test_routing_duato"
+  "test_routing_duato.pdb"
+  "test_routing_duato[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_duato.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

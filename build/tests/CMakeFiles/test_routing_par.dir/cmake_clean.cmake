@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_par.dir/test_routing_par.cc.o"
+  "CMakeFiles/test_routing_par.dir/test_routing_par.cc.o.d"
+  "test_routing_par"
+  "test_routing_par.pdb"
+  "test_routing_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_turn.dir/test_routing_turn.cc.o"
+  "CMakeFiles/test_routing_turn.dir/test_routing_turn.cc.o.d"
+  "test_routing_turn"
+  "test_routing_turn.pdb"
+  "test_routing_turn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_turn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
