@@ -52,6 +52,15 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
         receivers_.push_back(std::make_unique<Receiver>(
             id, cfg_, n, &stats_, this));
     }
+
+#if CRNET_AUDIT_ENABLED
+    audit_ = std::make_unique<Auditor>(cfg_, *topo_);
+    for (NodeId id = 0; id < n; ++id) {
+        routers_[id]->setAuditor(audit_.get());
+        injectors_[id]->setAuditor(audit_.get());
+        receivers_[id]->setAuditor(audit_.get());
+    }
+#endif
 }
 
 Network::~Network() = default;
@@ -200,6 +209,7 @@ Network::activityLevel() const
 void
 Network::tick()
 {
+    CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
     deliver();
     generate();
 
@@ -222,7 +232,171 @@ Network::tick()
         lastActivityLevel_ = level;
         lastActivity_ = now_;
     }
+#if CRNET_AUDIT_ENABLED
+    if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
+        runAuditSweep();
+#endif
     ++now_;
+}
+
+void
+Network::runAuditSweep()
+{
+    AuditSnapshot snap;
+    snap.now = now_;
+    const NodeId n = topo_->numNodes();
+    const PortId net_ports = routers_[0]->networkPorts();
+    const std::uint32_t vcs = cfg_.numVcs;
+
+    // Edge table at fixed indices — network edges (keyed by their
+    // downstream input port), then injection, then ejection — so the
+    // wave scan below can address edges directly.
+    const std::size_t net_edges =
+        static_cast<std::size_t>(n) * net_ports * vcs;
+    const std::size_t inj_edges =
+        static_cast<std::size_t>(n) * cfg_.injectionChannels * vcs;
+    const std::size_t ej_edges =
+        static_cast<std::size_t>(n) * cfg_.ejectionChannels * vcs;
+    snap.edges.resize(net_edges + inj_edges + ej_edges);
+
+    const auto net_idx = [&](NodeId node, PortId in_port, VcId vc) {
+        return (static_cast<std::size_t>(node) * net_ports + in_port) *
+                   vcs +
+               vc;
+    };
+    const auto inj_idx = [&](NodeId node, std::uint32_t ch, VcId vc) {
+        return net_edges +
+               (static_cast<std::size_t>(node) *
+                    cfg_.injectionChannels +
+                ch) * vcs +
+               vc;
+    };
+    const auto ej_idx = [&](NodeId node, std::uint32_t ch, VcId vc) {
+        return net_edges + inj_edges +
+               (static_cast<std::size_t>(node) *
+                    cfg_.ejectionChannels +
+                ch) * vcs +
+               vc;
+    };
+
+    for (NodeId id = 0; id < n; ++id) {
+        const Router& r = *routers_[id];
+        snap.bufferedFlits += r.bufferedFlits();
+        snap.bufferedFlits += receivers_[id]->bufferedFlits();
+
+        for (PortId p = 0; p < net_ports; ++p) {
+            const NodeId up = topo_->neighbor(id, p);
+            for (VcId v = 0; v < vcs; ++v) {
+                AuditEdge& e = snap.edges[net_idx(id, p, v)];
+                e.kind = AuditEdgeKind::Network;
+                e.node = id;
+                e.port = p;
+                e.vc = v;
+                if (up == kInvalidNode) {
+                    e.skip = true;  // Mesh boundary: no channel here.
+                    continue;
+                }
+                const Router::OutputProbe o =
+                    routers_[up]->outputProbe(oppositePort(p), v);
+                e.credits = o.credits;
+                e.occupancy = r.inputOccupancy(p, v);
+                e.skip = o.quarantineUntil > now_ ||
+                         r.inputKillPending(p, v);
+            }
+        }
+        for (std::uint32_t ch = 0; ch < cfg_.injectionChannels;
+             ++ch) {
+            const PortId p = static_cast<PortId>(r.injBase() + ch);
+            for (VcId v = 0; v < vcs; ++v) {
+                AuditEdge& e = snap.edges[inj_idx(id, ch, v)];
+                e.kind = AuditEdgeKind::Injection;
+                e.node = id;
+                e.port = ch;
+                e.vc = v;
+                e.credits = injectors_[id]->slotCredits(ch, v);
+                e.occupancy = r.inputOccupancy(p, v);
+                e.skip = injectors_[id]->slotInCooldown(ch, v) ||
+                         r.inputKillPending(p, v);
+            }
+        }
+        for (std::uint32_t ch = 0; ch < cfg_.ejectionChannels; ++ch) {
+            const PortId p = static_cast<PortId>(r.ejBase() + ch);
+            for (VcId v = 0; v < vcs; ++v) {
+                AuditEdge& e = snap.edges[ej_idx(id, ch, v)];
+                e.kind = AuditEdgeKind::Ejection;
+                e.node = id;
+                e.port = ch;
+                e.vc = v;
+                const Router::OutputProbe o = r.outputProbe(p, v);
+                e.credits = o.credits;
+                e.occupancy = receivers_[id]->occupancy(ch, v);
+                e.skip = o.quarantineUntil > now_;
+            }
+        }
+    }
+
+    // In-flight events still sitting in the delivery waves. Kill
+    // tokens ride the control wires and consume no credits, so only
+    // data flits count toward the ledgers.
+    for (const Wave& w : buckets_) {
+        for (const PendingFlit& p : w.flits) {
+            if (!p.flit.isData())
+                continue;
+            ++snap.inFlightFlits;
+            if (p.inPort < net_ports) {
+                ++snap.edges[net_idx(p.node, p.inPort, p.vc)]
+                      .inFlightFlits;
+            } else {
+                ++snap.edges[inj_idx(p.node,
+                                     static_cast<std::uint32_t>(
+                                         p.inPort - net_ports),
+                                     p.vc)]
+                      .inFlightFlits;
+            }
+        }
+        for (const PendingRecvFlit& p : w.recvFlits) {
+            if (!p.flit.isData())
+                continue;
+            ++snap.inFlightFlits;
+            ++snap.edges[ej_idx(p.node, p.ejChannel, p.vc)]
+                  .inFlightFlits;
+        }
+        for (const PendingCredit& c : w.credits) {
+            if (c.outPort < net_ports) {
+                const NodeId down = topo_->neighbor(c.node, c.outPort);
+                if (down != kInvalidNode) {
+                    ++snap.edges[net_idx(down,
+                                         oppositePort(c.outPort),
+                                         c.vc)]
+                          .inFlightCredits;
+                }
+            } else {
+                ++snap.edges[ej_idx(c.node,
+                                    static_cast<std::uint32_t>(
+                                        c.outPort - net_ports),
+                                    c.vc)]
+                      .inFlightCredits;
+            }
+        }
+        for (const PendingInjCredit& c : w.injCredits)
+            ++snap.edges[inj_idx(c.node, c.injChannel, c.vc)]
+                  .inFlightCredits;
+        // A kill/abort still in flight means its edge's ledger is
+        // legitimately mid-teardown; skip those this sweep.
+        for (const PendingBkill& b : w.bkills) {
+            const NodeId down = topo_->neighbor(b.node, b.outPort);
+            if (down != kInvalidNode) {
+                snap.edges[net_idx(down, oppositePort(b.outPort),
+                                   b.vc)]
+                    .skip = true;
+            }
+        }
+        for (const PendingAbort& a : w.aborts)
+            snap.edges[inj_idx(a.node, a.injChannel, a.vc)].skip =
+                true;
+    }
+
+    audit_->sweep(snap);
 }
 
 void

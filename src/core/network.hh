@@ -20,6 +20,7 @@
 
 #include "src/core/metrics.hh"
 #include "src/fault/fault_model.hh"
+#include "src/sim/audit.hh"
 #include "src/nic/injector.hh"
 #include "src/nic/receiver.hh"
 #include "src/router/router.hh"
@@ -96,6 +97,9 @@ class Network : public DeliverySink
     Receiver& receiver(NodeId n) { return *receivers_[n]; }
     Router& router(NodeId n) { return *routers_[n]; }
     TrafficGenerator& generator() { return *generator_; }
+
+    /** The invariant auditor, or null when compiled out. */
+    Auditor* auditor() { return audit_.get(); }
 
     /** Messages counted into the measurement window. */
     std::uint64_t measuredCreated() const { return measuredCreated_; }
@@ -174,11 +178,15 @@ class Network : public DeliverySink
     void collectReceiver(NodeId n);
     std::uint64_t activityLevel() const;
 
+    /** Snapshot every credit ledger and run the invariant sweep. */
+    void runAuditSweep();
+
     /** Wave that events maturing `delay` cycles from now go into. */
     Wave& waveIn(Cycle delay);
 
     SimConfig cfg_;
     std::unique_ptr<Topology> topo_;
+    std::unique_ptr<Auditor> audit_;
     std::unique_ptr<FaultModel> faults_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     NetworkStats stats_;

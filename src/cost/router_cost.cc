@@ -61,6 +61,11 @@ estimateRouterCost(const RouterCostParams& p)
       case RoutingKind::NegativeFirst:
         c.routingDelay = 2.0 + arbiter(2 * p.dims) + 1.0;
         break;
+      case RoutingKind::PlanarAdaptive:
+        // Two-port adaptive select within the active plane, plus the
+        // plane-transition check in series.
+        c.routingDelay = 2.0 + arbiter(2) + 1.0;
+        break;
     }
 
     // --- VC allocation ------------------------------------------------

@@ -4,6 +4,7 @@
 
 #include "src/nic/backoff.hh"
 #include "src/nic/padding.hh"
+#include "src/sim/audit.hh"
 #include "src/sim/log.hh"
 
 namespace crnet {
@@ -28,6 +29,24 @@ Injector::Slot&
 Injector::slot(std::uint32_t ch, VcId vc)
 {
     return slots_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
+}
+
+const Injector::Slot&
+Injector::slot(std::uint32_t ch, VcId vc) const
+{
+    return slots_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
+}
+
+std::uint32_t
+Injector::slotCredits(std::uint32_t ch, VcId vc) const
+{
+    return slot(ch, vc).credits;
+}
+
+bool
+Injector::slotInCooldown(std::uint32_t ch, VcId vc) const
+{
+    return slot(ch, vc).state == Slot::State::Cooldown;
 }
 
 bool
@@ -182,6 +201,7 @@ Injector::killWorm(std::uint32_t ch, VcId vc, Cycle now)
     token.src = node_;
     token.dst = s.msg.dst;
     token.attempt = s.msg.attempt;
+    CRNET_AUDIT_HOOK(audit_, onKillIssued(token.msg, token.attempt));
     sent.push_back(InjectedFlit{ch, vc, token});
     channelUsed_[ch] = true;
 
@@ -244,6 +264,9 @@ Injector::startWorms(Cycle now)
             s.nextSeq = 0;
             s.startCycle = now;
             s.stallCycles = 0;
+            CRNET_AUDIT_HOOK(audit_, onWormStart(node_, msg.dst,
+                                                 s.wireLen,
+                                                 msg.payloadLen));
         }
     }
 }
@@ -293,6 +316,7 @@ Injector::injectFlits(Cycle now)
                 ++s.nextSeq;
                 s.stallCycles = 0;
                 stats_->flitsInjected.inc();
+                CRNET_AUDIT_HOOK(audit_, onFlitInjected(node_, f));
                 if (f.type == FlitType::Pad)
                     stats_->padFlitsInjected.inc();
                 rrVc_[ch] = static_cast<VcId>((vc + 1) % cfg_.numVcs);

@@ -41,6 +41,8 @@
 
 namespace crnet {
 
+class Auditor;
+
 /** A flit the injector puts on an injection channel this cycle. */
 struct InjectedFlit
 {
@@ -93,6 +95,17 @@ class Injector
     /** True when nothing is queued or in flight at this source. */
     bool idle() const;
 
+    // --- Audit probes (see src/sim/audit.hh) --------------------------
+
+    /** Attach the invariant auditor (null to detach). */
+    void setAuditor(Auditor* audit) { audit_ = audit; }
+
+    /** Credit counter of one (channel, VC) slot. */
+    std::uint32_t slotCredits(std::uint32_t ch, VcId vc) const;
+
+    /** True while a slot sits in its post-kill cooldown window. */
+    bool slotInCooldown(std::uint32_t ch, VcId vc) const;
+
   private:
     struct Slot
     {
@@ -113,6 +126,7 @@ class Injector
     };
 
     Slot& slot(std::uint32_t ch, VcId vc);
+    const Slot& slot(std::uint32_t ch, VcId vc) const;
     void startWorms(Cycle now);
     void checkTimeouts(Cycle now);
     void injectFlits(Cycle now);
@@ -126,6 +140,7 @@ class Injector
     const Topology& topo_;
     const RoutingAlgorithm& algo_;
     NetworkStats* stats_;
+    Auditor* audit_ = nullptr;
     Rng rng_;
 
     std::deque<PendingMessage> queue_;

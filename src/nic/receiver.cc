@@ -1,5 +1,6 @@
 #include "src/nic/receiver.hh"
 
+#include "src/sim/audit.hh"
 #include "src/sim/log.hh"
 
 namespace crnet {
@@ -28,16 +29,41 @@ Receiver::vcBuf(std::uint32_t ch, VcId vc)
     return bufs_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
 }
 
+const Receiver::VcBuffer&
+Receiver::vcBuf(std::uint32_t ch, VcId vc) const
+{
+    return bufs_[static_cast<std::size_t>(ch) * cfg_.numVcs + vc];
+}
+
+std::uint32_t
+Receiver::occupancy(std::uint32_t ch, VcId vc) const
+{
+    return static_cast<std::uint32_t>(vcBuf(ch, vc).buf.size());
+}
+
+std::uint64_t
+Receiver::bufferedFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto& b : bufs_)
+        n += b.buf.size();
+    return n;
+}
+
 void
 Receiver::acceptFlit(std::uint32_t ej_channel, VcId vc,
                      const Flit& flit)
 {
     VcBuffer& b = vcBuf(ej_channel, vc);
+    CRNET_AUDIT_HOOK(audit_, onEjectionFlit(node_, ej_channel, vc,
+                                            flit));
 
     if (flit.isKill()) {
         // Forward kill: discard the partial message (unless the token
         // is stale — a newer attempt already started assembling).
-        stats_->router.flitsPurged.inc(b.buf.purge());
+        const std::size_t purged = b.buf.purge();
+        stats_->router.flitsPurged.inc(purged);
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
         auto it = assemblies_.find(flit.msg);
         if (it != assemblies_.end() &&
             it->second.attempt <= flit.attempt) {
@@ -79,6 +105,7 @@ Receiver::consume(std::uint32_t ch, VcId vc, Cycle now)
     const Flit flit = b.buf.pop();
     credits.push_back(ReceiverCredit{ch, vc});
     stats_->flitsConsumed.inc();
+    CRNET_AUDIT_HOOK(audit_, onFlitConsumed(node_, flit));
     if (flit.type == FlitType::Pad)
         stats_->padFlitsConsumed.inc();
 

@@ -40,6 +40,8 @@
 
 namespace crnet {
 
+class Auditor;
+
 /** A fully received message, as reported to the delivery sink. */
 struct DeliveredMessage
 {
@@ -99,6 +101,17 @@ class Receiver
 
     std::uint64_t deliveredCount() const { return delivered_; }
 
+    // --- Audit probes (see src/sim/audit.hh) --------------------------
+
+    /** Attach the invariant auditor (null to detach). */
+    void setAuditor(Auditor* audit) { audit_ = audit; }
+
+    /** Flits buffered in one ejection VC. */
+    std::uint32_t occupancy(std::uint32_t ch, VcId vc) const;
+
+    /** Flits buffered across all ejection VCs. */
+    std::uint64_t bufferedFlits() const;
+
   private:
     struct VcBuffer
     {
@@ -118,6 +131,7 @@ class Receiver
     };
 
     VcBuffer& vcBuf(std::uint32_t ch, VcId vc);
+    const VcBuffer& vcBuf(std::uint32_t ch, VcId vc) const;
     void consume(std::uint32_t ch, VcId vc, Cycle now);
     void deliver(const Flit& tail, const Assembly& a, Cycle now);
     void checkDeliveryOrder(NodeId src, std::uint32_t pair_seq);
@@ -126,6 +140,7 @@ class Receiver
     const SimConfig& cfg_;
     NetworkStats* stats_;
     DeliverySink* sink_;
+    Auditor* audit_ = nullptr;
 
     std::vector<VcBuffer> bufs_;  //!< [channel][vc] flattened.
     std::vector<VcId> rrVc_;      //!< Consumption RR per channel.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/audit.hh"
 #include "src/sim/log.hh"
 
 namespace crnet {
@@ -68,11 +69,13 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit)
 {
     if (in_port >= numInPorts_ || vc >= numVcs_)
         panic("acceptFlit: bad port/vc (", in_port, ", ", vc, ")");
+    CRNET_AUDIT_HOOK(audit_, onChannelFlit(id_, in_port, vc, flit));
     InputVc& in = ivc(in_port, vc);
 
     if (flit.isKill()) {
         const std::size_t purged = in.buf.purge();
         stats_->flitsPurged.inc(purged);
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
         switch (in.state) {
           case InputVc::State::Active:
             if (in.msg != flit.msg) {
@@ -121,6 +124,7 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit)
                   " (purged ", in.purgeMsg, ") at node ", id_);
         }
         stats_->stragglersDropped.inc();
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(1));
         return;
     }
 
@@ -162,8 +166,11 @@ Router::processBkills()
         const VcId hv = o.holderVc;
         InputVc& in = ivc(hp, hv);
         const MsgId msg = in.msg;
-        stats_->flitsPurged.inc(in.buf.purge());
+        const std::size_t purged = in.buf.purge();
+        stats_->flitsPurged.inc(purged);
         stats_->bkillHops.inc();
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
+        CRNET_AUDIT_HOOK(audit_, onChannelReset(id_, hp, hv, msg));
         in.state = InputVc::State::Idle;
         in.purgeMsg = msg;
         in.msg = kInvalidMsg;
@@ -376,8 +383,11 @@ Router::killWormAt(PortId p, VcId v)
 {
     InputVc& in = ivc(p, v);
     const MsgId msg = in.msg;
-    stats_->flitsPurged.inc(in.buf.purge());
+    const std::size_t purged = in.buf.purge();
+    stats_->flitsPurged.inc(purged);
     stats_->pathWideKills.inc();
+    CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
+    CRNET_AUDIT_HOOK(audit_, onChannelReset(id_, p, v, msg));
 
     if (in.state == InputVc::State::Active) {
         // Tear down toward the destination with a forward kill token.
@@ -385,6 +395,7 @@ Router::killWormAt(PortId p, VcId v)
         token.type = FlitType::Kill;
         token.msg = msg;
         token.attempt = in.attempt;
+        CRNET_AUDIT_HOOK(audit_, onKillIssued(msg, in.attempt));
         in.killPending = true;
         in.killFlit = token;
         in.killOutPort = in.outPort;
@@ -472,6 +483,25 @@ bool
 Router::vcIdle(PortId in_port, VcId vc) const
 {
     return ivc(in_port, vc).state == InputVc::State::Idle;
+}
+
+std::uint32_t
+Router::inputOccupancy(PortId in_port, VcId vc) const
+{
+    return static_cast<std::uint32_t>(ivc(in_port, vc).buf.size());
+}
+
+bool
+Router::inputKillPending(PortId in_port, VcId vc) const
+{
+    return ivc(in_port, vc).killPending;
+}
+
+Router::OutputProbe
+Router::outputProbe(PortId out_port, VcId vc) const
+{
+    const OutputVc& o = ovc(out_port, vc);
+    return OutputProbe{o.allocated, o.credits, o.quarantineUntil};
 }
 
 } // namespace crnet

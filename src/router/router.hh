@@ -47,6 +47,8 @@
 
 namespace crnet {
 
+class Auditor;
+
 /** Counters shared by all routers of one network. */
 struct RouterStats
 {
@@ -155,6 +157,26 @@ class Router
     /** State of one input VC (test hook). */
     bool vcIdle(PortId in_port, VcId vc) const;
 
+    // --- Audit probes (see src/sim/audit.hh) --------------------------
+
+    /** Attach the invariant auditor (null to detach). */
+    void setAuditor(Auditor* audit) { audit_ = audit; }
+
+    /** Flits buffered in one input VC. */
+    std::uint32_t inputOccupancy(PortId in_port, VcId vc) const;
+
+    /** True while a forward kill waits on this input VC. */
+    bool inputKillPending(PortId in_port, VcId vc) const;
+
+    /** Credit-ledger view of one output VC. */
+    struct OutputProbe
+    {
+        bool allocated = false;
+        std::uint32_t credits = 0;
+        Cycle quarantineUntil = 0;
+    };
+    OutputProbe outputProbe(PortId out_port, VcId vc) const;
+
   private:
     /** Per-input-VC state machine. */
     struct InputVc
@@ -212,6 +234,7 @@ class Router
     const SimConfig& cfg_;
     const RoutingAlgorithm& algo_;
     RouterStats* stats_;
+    Auditor* audit_ = nullptr;
     Rng rng_;
 
     PortId networkPorts_;

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Invariant-audit engine: runtime verification of the CR/FCR protocol.
+ *
+ * The simulator's correctness argument rests on a handful of delicate
+ * invariants (padding >= network depth, kills that tear down the whole
+ * reserved path, exact credit ledgers). The Auditor checks them while
+ * the simulation runs, so a protocol bug dies loudly — via panic() —
+ * at the cycle it occurs instead of surfacing cycles later as a wedged
+ * network or a silently wrong table.
+ *
+ * Checked invariants (see docs/CORRECTNESS.md for the paper mapping):
+ *
+ *  1. Worm framing per channel: Head(seq 0) -> Body* -> Pad* -> Tail,
+ *     contiguous sequence numbers, one worm at a time, no flit after
+ *     the tail, kill tokens only for the worm (or purged worm) that
+ *     actually used the channel.
+ *  2. Flit conservation: every data flit injected is, at all times,
+ *     buffered somewhere, in flight on a channel register, consumed by
+ *     a receiver, or purged by the kill machinery. Nothing leaks,
+ *     nothing is double-counted.
+ *  3. Credit-ledger exactness: for every (channel, VC) edge,
+ *     upstream credits + downstream occupancy + in-flight flits +
+ *     in-flight credits == bufferDepth, outside explicit kill
+ *     quarantine windows.
+ *  4. CR/FCR padding: a worm's wire length covers the flit capacity of
+ *     its path (CR) or payload + round trip (FCR) — the precondition
+ *     of the paper's no-acknowledgement commit rule.
+ *  5. Timestamp sanity: createdAt <= headInjectedAt <= current cycle
+ *     on every data flit.
+ *
+ * Cost model: the per-flit hooks are guarded by the CRNET_AUDIT_HOOK
+ * macro, which compiles to nothing when the CRNET_AUDIT CMake option
+ * is OFF — release builds pay zero cycles and zero branches. When ON,
+ * framing/timestamp checks run per flit event and the global sweep
+ * (conservation + ledgers) runs every SimConfig::auditInterval cycles.
+ */
+
+#ifndef CRNET_SIM_AUDIT_HH
+#define CRNET_SIM_AUDIT_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/router/flit.hh"
+#include "src/sim/config.hh"
+#include "src/sim/types.hh"
+
+#ifndef CRNET_AUDIT_ENABLED
+#define CRNET_AUDIT_ENABLED 0
+#endif
+
+/**
+ * Invoke an Auditor hook through a possibly-null pointer. Expands to
+ * nothing when auditing is compiled out, so hook sites in the hot path
+ * cost nothing in production builds.
+ */
+#if CRNET_AUDIT_ENABLED
+#define CRNET_AUDIT_HOOK(auditor, call)                                \
+    do {                                                               \
+        if ((auditor) != nullptr)                                      \
+            (auditor)->call;                                           \
+    } while (false)
+#else
+#define CRNET_AUDIT_HOOK(auditor, call)                                \
+    do {                                                               \
+    } while (false)
+#endif
+
+namespace crnet {
+
+class Topology;
+
+/** What kind of channel an AuditEdge describes. */
+enum class AuditEdgeKind : std::uint8_t {
+    Network,   //!< Router-to-router link (downstream side named).
+    Injection, //!< Injector -> local router channel.
+    Ejection   //!< Router -> local receiver channel.
+};
+
+/** Credit-ledger snapshot of one (channel, VC) edge. */
+struct AuditEdge
+{
+    AuditEdgeKind kind = AuditEdgeKind::Network;
+    NodeId node = kInvalidNode;  //!< Downstream node (network) or NIC node.
+    std::uint32_t port = 0;      //!< Downstream input port / channel index.
+    VcId vc = 0;
+    std::uint32_t credits = 0;         //!< Upstream credit counter.
+    std::uint32_t occupancy = 0;       //!< Downstream buffer occupancy.
+    std::uint32_t inFlightFlits = 0;   //!< Data flits on the wire.
+    std::uint32_t inFlightCredits = 0; //!< Credits on the wire.
+    /**
+     * Ledger legitimately in flux: kill quarantine, injector cooldown,
+     * or a kill/bkill/abort still in flight on this edge. Skipped.
+     */
+    bool skip = false;
+};
+
+/** Whole-network state summary consumed by Auditor::sweep(). */
+struct AuditSnapshot
+{
+    Cycle now = 0;
+    std::uint64_t bufferedFlits = 0; //!< Router + receiver buffers.
+    std::uint64_t inFlightFlits = 0; //!< Data flits in channel registers.
+    std::vector<AuditEdge> edges;
+};
+
+/**
+ * The audit engine. One instance per Network; components report
+ * events through the hooks and the Network feeds periodic snapshots
+ * to sweep(). Any violated invariant panics with full context.
+ */
+class Auditor
+{
+  public:
+    Auditor(const SimConfig& cfg, const Topology& topo);
+
+    /** Called by the Network at the top of every tick. */
+    void beginCycle(Cycle now) { now_ = now; }
+
+    // --- Worm lifecycle hooks ----------------------------------------
+
+    /** A worm is about to transmit: validate its padding. */
+    void onWormStart(NodeId src, NodeId dst, std::uint32_t wire_len,
+                     std::uint32_t payload_len);
+
+    /** A data flit entered an injection channel (conservation). */
+    void onFlitInjected(NodeId node, const Flit& flit);
+
+    /** A flit (data or kill) arrived at a router input VC. */
+    void onChannelFlit(NodeId node, PortId in_port, VcId vc,
+                       const Flit& flit);
+
+    /** A flit (data or kill) arrived at a receiver ejection VC. */
+    void onEjectionFlit(NodeId node, std::uint32_t ej_channel, VcId vc,
+                        const Flit& flit);
+
+    /** A router input VC was purged without a token (bkill/timeout). */
+    void onChannelReset(NodeId node, PortId in_port, VcId vc,
+                        MsgId msg);
+
+    /**
+     * A kill token for (msg, attempt) was legitimately created — by
+     * the source timeout machinery or a router-side timeout scheme.
+     * A kill can overrun its worm by one hop (the header it chases
+     * was purged before traversing), so kills on idle channels are
+     * legal only when their token is registered here.
+     */
+    void onKillIssued(MsgId msg, std::uint16_t attempt)
+    {
+        issuedKills_.insert(killKey(msg, attempt));
+    }
+
+    /** `n` buffered data flits were dropped by the kill machinery. */
+    void onFlitsPurged(std::uint64_t n) { purged_ += n; }
+
+    /** A receiver consumed one flit (conservation). */
+    void onFlitConsumed(NodeId node, const Flit& flit);
+
+    // --- Periodic sweep -----------------------------------------------
+
+    /** Check conservation and every credit ledger against `snap`. */
+    void sweep(const AuditSnapshot& snap);
+
+    // --- Introspection (tests) ----------------------------------------
+
+    std::uint64_t injected() const { return injected_; }
+    std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t purged() const { return purged_; }
+    std::uint64_t sweepsRun() const { return sweeps_; }
+    std::uint64_t flitChecks() const { return flitChecks_; }
+
+  private:
+    /** Mirror of one channel's worm state machine. */
+    struct ChannelState
+    {
+        MsgId msg = kInvalidMsg;        //!< Worm currently on the channel.
+        std::uint16_t attempt = 0;
+        std::uint32_t nextSeq = 0;
+        std::uint32_t payloadLen = 0;
+        MsgId purgedMsg = kInvalidMsg;  //!< Stragglers of this are legal.
+    };
+
+    void checkFlit(ChannelState& ch, const Flit& flit,
+                   const char* where, NodeId node, std::uint32_t port,
+                   VcId vc);
+    ChannelState& routerChannel(NodeId node, PortId port, VcId vc);
+    ChannelState& ejectionChannel(NodeId node, std::uint32_t ch,
+                                  VcId vc);
+
+    static std::uint64_t killKey(MsgId msg, std::uint16_t attempt)
+    {
+        return (static_cast<std::uint64_t>(msg) << 16) | attempt;
+    }
+
+    const SimConfig& cfg_;
+    const Topology& topo_;
+    Cycle now_ = 0;
+
+    std::uint32_t portsPerRouter_;  //!< Network + injection inputs.
+    std::vector<ChannelState> routerChannels_;
+    std::vector<ChannelState> ejectionChannels_;
+
+    /** Every (msg, attempt) a kill token was legitimately issued for. */
+    std::unordered_set<std::uint64_t> issuedKills_;
+
+    // Conservation ledger, independent of NetworkStats counters.
+    std::uint64_t injected_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t purged_ = 0;
+
+    std::uint64_t sweeps_ = 0;
+    std::uint64_t flitChecks_ = 0;
+};
+
+} // namespace crnet
+
+#endif // CRNET_SIM_AUDIT_HH

@@ -15,6 +15,7 @@
 #define CRNET_SIM_CHECKSUM_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace crnet {
@@ -37,17 +38,26 @@ makeCrc8Table()
 
 } // namespace detail
 
-/** CRC-8 over a 64-bit word (flit payload). */
+/** CRC-8/SMBUS over a byte stream (init 0, poly 0x07, no reflection). */
 constexpr std::uint8_t
-crc8(std::uint64_t payload)
+crc8(const std::uint8_t* data, std::size_t len)
 {
     constexpr auto table = detail::makeCrc8Table();
     std::uint8_t crc = 0;
-    for (int byte = 0; byte < 8; ++byte) {
-        const auto b = static_cast<std::uint8_t>(payload >> (8 * byte));
-        crc = table[static_cast<std::size_t>(crc ^ b)];
-    }
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[static_cast<std::size_t>(crc ^ data[i])];
     return crc;
+}
+
+/** CRC-8 over a 64-bit word (flit payload), low byte first. */
+constexpr std::uint8_t
+crc8(std::uint64_t payload)
+{
+    std::array<std::uint8_t, 8> bytes{};
+    for (int byte = 0; byte < 8; ++byte)
+        bytes[static_cast<std::size_t>(byte)] =
+            static_cast<std::uint8_t>(payload >> (8 * byte));
+    return crc8(bytes.data(), bytes.size());
 }
 
 } // namespace crnet

@@ -92,6 +92,8 @@ SimConfig::validate() const
         timeout == 0) {
         fatal("FCR with faults requires a non-zero timeout");
     }
+    if (auditInterval < 1)
+        fatal("auditInterval must be >= 1");
 }
 
 SimConfig&
@@ -150,6 +152,8 @@ SimConfig::set(const std::string& key, const std::string& value)
     else if (key == "measure") measureCycles = parseU64(key, value);
     else if (key == "drain") drainCycles = parseU64(key, value);
     else if (key == "deadlock_threshold") deadlockThreshold =
+        parseU64(key, value);
+    else if (key == "audit_interval") auditInterval =
         parseU64(key, value);
     else
         fatal("unknown config key '", key, "'");

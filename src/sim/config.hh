@@ -129,6 +129,13 @@ struct SimConfig
     Cycle measureCycles = 10000;
     Cycle drainCycles = 100000;       //!< Cap on the drain phase.
     Cycle deadlockThreshold = 20000;  //!< Network-idle watchdog.
+    /**
+     * Cycles between invariant-audit sweeps (flit conservation and
+     * credit-ledger checks) when the CRNET_AUDIT build option is on.
+     * Per-flit framing checks always run every event. 1 = sweep every
+     * cycle (tests); larger values amortize the sweep cost.
+     */
+    Cycle auditInterval = 64;
 
     /** Total nodes in the configured topology. */
     std::uint64_t numNodes() const;

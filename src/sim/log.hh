@@ -29,7 +29,9 @@ std::string
 concat(Args&&... args)
 {
     std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
+    // Comma fold keeps an empty pack well-formed (a plain `<<` fold
+    // over zero arguments is just `os`, which -Wunused-value flags).
+    ((void)(os << std::forward<Args>(args)), ...);
     return os.str();
 }
 

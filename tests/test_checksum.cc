@@ -21,6 +21,45 @@ TEST(Crc8, KnownVectors)
     EXPECT_EQ(a, b);
 }
 
+TEST(Crc8, SmbusCheckVector)
+{
+    // The canonical CRC-8/SMBUS check: crc8("123456789") == 0xF4.
+    const std::uint8_t msg[] = {'1', '2', '3', '4', '5',
+                                '6', '7', '8', '9'};
+    EXPECT_EQ(crc8(msg, sizeof(msg)), 0xF4);
+}
+
+TEST(Crc8, EdgeCaseInputs)
+{
+    // Empty stream: CRC stays at its zero init value.
+    EXPECT_EQ(crc8(nullptr, 0), 0x00);
+    // Single bytes against a bitwise reference implementation.
+    for (int v : {0x00, 0x01, 0x7f, 0x80, 0xff}) {
+        std::uint8_t crc = static_cast<std::uint8_t>(v);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x80)
+                      ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                      : static_cast<std::uint8_t>(crc << 1);
+        }
+        const std::uint8_t byte = static_cast<std::uint8_t>(v);
+        EXPECT_EQ(crc8(&byte, 1), crc) << "byte " << v;
+    }
+    // All-ones word: value fixed by the polynomial, not the platform.
+    const std::uint8_t ones[8] = {0xff, 0xff, 0xff, 0xff,
+                                  0xff, 0xff, 0xff, 0xff};
+    EXPECT_EQ(crc8(0xffffffffffffffffULL), crc8(ones, 8));
+}
+
+TEST(Crc8, WordMatchesByteStream)
+{
+    // The word overload is defined as the stream CRC of its bytes,
+    // low byte first.
+    const std::uint64_t word = 0x0123456789abcdefULL;
+    const std::uint8_t bytes[] = {0xef, 0xcd, 0xab, 0x89,
+                                  0x67, 0x45, 0x23, 0x01};
+    EXPECT_EQ(crc8(word), crc8(bytes, sizeof(bytes)));
+}
+
 TEST(Crc8, SingleBitFlipsAreDetected)
 {
     const std::uint64_t word = 0xdeadbeefcafe1234ULL;

@@ -117,16 +117,18 @@ TEST_P(FuzzStress, InvariantsSurviveRandomConfigs)
                   s.router.stragglersDropped.value());
     // Exactly-once; in-order when the gate is on.
     EXPECT_EQ(s.duplicateDeliveries.value(), 0u);
-    if (cfg.enforceDestOrder)
+    if (cfg.enforceDestOrder) {
         EXPECT_EQ(s.orderViolations.value(), 0u);
+    }
     // Commit/delivery agreement under CR-family protocols.
     if (cfg.protocol != ProtocolKind::None) {
         EXPECT_EQ(s.messagesCommitted.value(),
                   s.messagesDelivered.value());
     }
     // FCR never delivers corrupted data.
-    if (cfg.protocol == ProtocolKind::Fcr)
+    if (cfg.protocol == ProtocolKind::Fcr) {
         EXPECT_EQ(s.corruptedDeliveries.value(), 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FuzzStress,

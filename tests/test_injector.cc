@@ -81,10 +81,12 @@ TEST_F(InjectorTest, EmitsWormInOrderWithPadsAndTail)
     for (std::uint32_t i = 0; i < wire; ++i) {
         EXPECT_EQ(flits[i].seq, i);
         EXPECT_TRUE(flits[i].checksumOk());
-        if (i > 0 && i < 4)
+        if (i > 0 && i < 4) {
             EXPECT_EQ(flits[i].type, FlitType::Body);
-        if (i >= 4 && i + 1 < wire)
+        }
+        if (i >= 4 && i + 1 < wire) {
             EXPECT_EQ(flits[i].type, FlitType::Pad);
+        }
     }
     EXPECT_EQ(stats->messagesCommitted.value(), 1u);
     EXPECT_EQ(stats->padFlitsInjected.value(), wire - 5);

@@ -95,8 +95,9 @@ TEST_P(InvariantSweep, HoldsUnderLoad)
     EXPECT_EQ(s.duplicateDeliveries.value(), 0u);
 
     // P3: integrity.
-    if (sc.faultRate == 0.0 || sc.protocol == ProtocolKind::Fcr)
+    if (sc.faultRate == 0.0 || sc.protocol == ProtocolKind::Fcr) {
         EXPECT_EQ(s.corruptedDeliveries.value(), 0u);
+    }
 
     // P5: commit/delivery agreement (CR family).
     if (sc.protocol != ProtocolKind::None) {

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Style and portability lint for the crnet tree.
+
+Run as `crnet_lint.py [repo-root]`; registered as the `lint` ctest so a
+plain `ctest` run enforces the rules. Checks, over src/ (and where
+noted, the whole C++ tree):
+
+  * randomness goes through src/sim/rng.hh — no raw rand()/random()/
+    std::mt19937 anywhere else (reproducibility: every experiment is
+    seeded through SimConfig);
+  * output goes through src/sim/log.hh — no printf/fprintf/std::cout/
+    std::cerr in src/ outside log.hh (library code must not write to
+    the terminal behind the simulation's back);
+  * include guards are CRNET_<PATH>_<FILE>_HH, matching the file's
+    location under src/;
+  * no assert() in protocol code — invariants use panic(), which fires
+    in every build type (assert is compiled out under NDEBUG, and a
+    protocol violation is never acceptable in release runs).
+
+Exit status 0 = clean, 1 = violations (printed one per line,
+file:line: message), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
+
+RAW_RANDOM = re.compile(
+    r"\b(?:std::)?mt19937(?:_64)?\b"          # engine type, any use
+    r"|\b(?:std::)?(?:rand|srand|random)\s*\("  # C PRNG calls
+)
+RAW_OUTPUT = re.compile(r"\b(?:printf|fprintf|puts|std::cout|std::cerr)\b")
+RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+GUARD_IFNDEF = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, keeping line numbers."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    parts = [p.upper().replace("-", "_").replace(".", "_") for p in rel.parts]
+    return "CRNET_" + "_".join(parts)
+
+
+def find_line(text: str, match_start: int) -> int:
+    return text.count("\n", 0, match_start) + 1
+
+
+def lint_file(root: Path, path: Path, problems: list[str]) -> None:
+    rel = path.relative_to(root)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    in_src = rel.parts[0] == "src"
+
+    for m in RAW_RANDOM.finditer(code):
+        if rel == Path("src/sim/rng.hh"):
+            break
+        problems.append(
+            f"{rel}:{find_line(code, m.start())}: raw randomness "
+            f"({m.group(0).rstrip('(').strip()}); use src/sim/rng.hh"
+        )
+
+    if in_src and rel.name != "log.hh":
+        for m in RAW_OUTPUT.finditer(code):
+            problems.append(
+                f"{rel}:{find_line(code, m.start())}: direct output "
+                f"({m.group(0)}); use src/sim/log.hh"
+            )
+
+    if in_src:
+        for m in RAW_ASSERT.finditer(code):
+            problems.append(
+                f"{rel}:{find_line(code, m.start())}: assert() in "
+                "protocol code; use panic() (active in all builds)"
+            )
+
+    if in_src and path.suffix in {".hh", ".hpp", ".h"}:
+        m = GUARD_IFNDEF.search(code)
+        want = expected_guard(rel.relative_to("src"))
+        if m is None:
+            problems.append(f"{rel}:1: missing include guard ({want})")
+        elif m.group(1) != want:
+            problems.append(
+                f"{rel}:{find_line(code, m.start())}: include guard "
+                f"{m.group(1)} should be {want}"
+            )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 2:
+        print("usage: crnet_lint.py [repo-root]", file=sys.stderr)
+        return 2
+    root = Path(argv[1]).resolve() if len(argv) == 2 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"crnet_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    scanned = 0
+    for top in ("src", "tests", "bench", "examples", "tools"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_SUFFIXES and path.is_file():
+                lint_file(root, path, problems)
+                scanned += 1
+
+    for p in problems:
+        print(p)
+    print(f"crnet_lint: {scanned} files scanned, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
