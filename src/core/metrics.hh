@@ -48,6 +48,22 @@ struct NetworkStats
     Counter padFlitsConsumed;
     Counter measuredPayloadFlits; //!< Payload flits of measured msgs.
 
+    // --- Dynamic faults ------------------------------------------------
+    Counter faultEventsApplied;   //!< FaultSchedule events fired.
+    Counter flitsLostOnDeadLinks; //!< Data flits absorbed mid-wire.
+    Counter killsAbsorbedAtDeadLinks;  //!< Forward kills absorbed (the
+                                       //!< break-point kill continues
+                                       //!< the teardown downstream).
+    Counter controlAbsorbedAtDeadLinks; //!< Credits/bkills absorbed.
+    Counter receiverTimeouts;     //!< Starved assemblies resolved by
+                                  //!< the receiver-side timeout.
+    Counter assembliesFinalized;  //!< Kill-cut messages whose payload
+                                  //!< was already complete: delivered.
+    Counter assembliesDiscarded;  //!< Kill-cut messages dropped
+                                  //!< (incomplete or corrupt payload).
+    Counter retryDuplicatesSuppressed;  //!< Retransmissions arriving
+                                        //!< after a finalize.
+
     // --- Measured-message latency -------------------------------------
     Accumulator totalLatency;     //!< Creation -> tail delivered.
     Accumulator netLatency;       //!< Last head injection -> delivered.

@@ -2,7 +2,9 @@
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
+#include "src/fault/campaign.hh"
 #include "src/sim/log.hh"
 
 namespace crnet {
@@ -49,8 +51,20 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
             id, cfg_, *routing_, &stats_.router, root.fork()));
         injectors_.push_back(std::make_unique<Injector>(
             id, cfg_, *topo_, *routing_, &stats_, root.fork()));
+        injectors_.back()->setFailureSink(this);
         receivers_.push_back(std::make_unique<Receiver>(
             id, cfg_, n, &stats_, this));
+    }
+
+    // The schedule fork happens last and only when configured, so
+    // fault-free runs keep exactly the RNG streams they had before
+    // dynamic faults existed.
+    if (cfg_.hasDynamicFaults()) {
+        dynamicFaults_ = true;
+        schedule_ = std::make_unique<FaultSchedule>(
+            FaultSchedule::fromConfig(cfg_, *topo_, root.fork()));
+        for (NodeId id = 0; id < n; ++id)
+            receivers_[id]->setDynamicFaults(true);
     }
 
 #if CRNET_AUDIT_ENABLED
@@ -74,23 +88,150 @@ Network::waveIn(Cycle delay)
 void
 Network::deliver()
 {
+    const PortId net_ports = routers_[0]->networkPorts();
     Wave& cur = buckets_[now_ % buckets_.size()];
     for (PendingFlit& p : cur.flits) {
+        if (dynamicFaults_ && p.networkHop) {
+            // A flit in flight on a channel that died under it is
+            // gone — data counts as purged (conservation holds), a
+            // kill token is absorbed (the death-time teardown already
+            // re-issued a kill downstream of the break).
+            const NodeId sender = topo_->neighbor(p.node, p.inPort);
+            if (sender == kInvalidNode ||
+                !faults_->linkOk(sender, oppositePort(p.inPort))) {
+                if (p.flit.isData()) {
+                    stats_.flitsLostOnDeadLinks.inc();
+                    CRNET_AUDIT_HOOK(audit_.get(), onFlitsPurged(1));
+                } else {
+                    stats_.killsAbsorbedAtDeadLinks.inc();
+                }
+                continue;
+            }
+        }
         if (p.networkHop && p.flit.isData())
             faults_->maybeCorrupt(p.flit);
         routers_[p.node]->acceptFlit(p.inPort, p.vc, p.flit);
     }
     for (const PendingRecvFlit& p : cur.recvFlits)
         receivers_[p.node]->acceptFlit(p.ejChannel, p.vc, p.flit);
-    for (const PendingCredit& p : cur.credits)
+    for (const PendingCredit& p : cur.credits) {
+        if (dynamicFaults_ && p.outPort < net_ports &&
+            !faults_->linkOk(p.node, p.outPort)) {
+            stats_.controlAbsorbedAtDeadLinks.inc();
+            continue;
+        }
         routers_[p.node]->acceptCredit(p.outPort, p.vc);
+    }
     for (const PendingInjCredit& p : cur.injCredits)
         injectors_[p.node]->acceptCredit(p.injChannel, p.vc);
-    for (const PendingBkill& p : cur.bkills)
+    for (const PendingBkill& p : cur.bkills) {
+        if (dynamicFaults_ && p.outPort < net_ports &&
+            !faults_->linkOk(p.node, p.outPort)) {
+            stats_.controlAbsorbedAtDeadLinks.inc();
+            continue;
+        }
         routers_[p.node]->acceptBkill(p.outPort, p.vc);
+    }
     for (const PendingAbort& p : cur.aborts)
         injectors_[p.node]->acceptAbort(p.injChannel, p.vc, p.msg);
     cur.clear();
+}
+
+void
+Network::teardownDirectedLink(NodeId u, PortId p)
+{
+    routers_[u]->onOutputLinkDead(p, now_);
+    const NodeId d = topo_->neighbor(u, p);
+    if (d != kInvalidNode)
+        routers_[d]->onInputLinkDead(oppositePort(p), now_);
+}
+
+void
+Network::repairDirectedLink(NodeId u, PortId p)
+{
+    faults_->reviveDirectedLink(u, p);
+    routers_[u]->onOutputLinkRepaired(p, now_);
+}
+
+void
+Network::applyOneFaultEvent(const FaultEvent& ev)
+{
+    stats_.faultEventsApplied.inc();
+    switch (ev.kind) {
+    case FaultEventKind::DirectedLinkDeath:
+        if (faults_->linkOk(ev.node, ev.port)) {
+            faults_->killDirectedLink(ev.node, ev.port);
+            teardownDirectedLink(ev.node, ev.port);
+        }
+        break;
+    case FaultEventKind::LinkDeath: {
+        if (faults_->linkOk(ev.node, ev.port)) {
+            faults_->killDirectedLink(ev.node, ev.port);
+            teardownDirectedLink(ev.node, ev.port);
+        }
+        const NodeId nbr = topo_->neighbor(ev.node, ev.port);
+        const PortId opp = oppositePort(ev.port);
+        if (nbr != kInvalidNode && faults_->linkOk(nbr, opp)) {
+            faults_->killDirectedLink(nbr, opp);
+            teardownDirectedLink(nbr, opp);
+        }
+        break;
+    }
+    case FaultEventKind::RouterFailStop: {
+        const PortId net_ports = routers_[ev.node]->networkPorts();
+        for (PortId p = 0; p < net_ports; ++p) {
+            const NodeId nbr = topo_->neighbor(ev.node, p);
+            if (nbr == kInvalidNode)
+                continue;
+            if (faults_->linkOk(ev.node, p)) {
+                faults_->killDirectedLink(ev.node, p);
+                teardownDirectedLink(ev.node, p);
+            }
+            const PortId opp = oppositePort(p);
+            if (faults_->linkOk(nbr, opp)) {
+                faults_->killDirectedLink(nbr, opp);
+                teardownDirectedLink(nbr, opp);
+            }
+        }
+        break;
+    }
+    case FaultEventKind::LinkRepair: {
+        if (!faults_->linkOk(ev.node, ev.port))
+            repairDirectedLink(ev.node, ev.port);
+        const NodeId nbr = topo_->neighbor(ev.node, ev.port);
+        const PortId opp = oppositePort(ev.port);
+        if (nbr != kInvalidNode && !faults_->linkOk(nbr, opp))
+            repairDirectedLink(nbr, opp);
+        break;
+    }
+    case FaultEventKind::BurstStart:
+        faults_->setBurstRate(ev.rate);
+        break;
+    case FaultEventKind::BurstEnd:
+        faults_->clearBurstRate();
+        break;
+    }
+}
+
+void
+Network::applyFaultEvents()
+{
+    dueEvents_.clear();
+    schedule_->collectDue(now_, dueEvents_);
+    for (const FaultEvent& ev : dueEvents_)
+        applyOneFaultEvent(ev);
+}
+
+void
+Network::injectFaultEvent(const FaultEvent& ev)
+{
+    if (!dynamicFaults_) {
+        dynamicFaults_ = true;
+        schedule_ = std::make_unique<FaultSchedule>();
+        for (auto& rcv : receivers_)
+            rcv->setDynamicFaults(true);
+    }
+    applyOneFaultEvent(ev);
 }
 
 void
@@ -112,6 +253,8 @@ Network::generate()
             generator_->makeFor(src, now_, measuring_);
         injectors_[src]->enqueue(msg);
         stats_.messagesGenerated.inc();
+        if (ledger_ != nullptr)
+            ledger_->onAccepted(msg);
         if (msg.measured) {
             stats_.messagesMeasured.inc();
             ++measuredCreated_;
@@ -193,6 +336,13 @@ Network::collectReceiver(NodeId n)
             n, static_cast<PortId>(routers_[n]->ejBase() + c.ejChannel),
             c.vc});
     }
+    // Starvation-timeout bkills tear the stranded ejection
+    // reservation down toward the source.
+    for (const ReceiverCredit& b : rcv.bkills) {
+        waveIn(1).bkills.push_back(PendingBkill{
+            n, static_cast<PortId>(routers_[n]->ejBase() + b.ejChannel),
+            b.vc});
+    }
 }
 
 std::uint64_t
@@ -210,6 +360,8 @@ void
 Network::tick()
 {
     CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
+    if (dynamicFaults_ && schedule_ != nullptr)
+        applyFaultEvents();
     deliver();
     generate();
 
@@ -231,6 +383,13 @@ Network::tick()
     if (level != lastActivityLevel_) {
         lastActivityLevel_ = level;
         lastActivity_ = now_;
+    }
+    if (dynamicFaults_ && !forensicsDumped_ && deadlocked()) {
+        forensicsDumped_ = true;
+        std::ostringstream os;
+        dumpForensics(os);
+        warn("deadlock watchdog fired under dynamic faults\n",
+             os.str());
     }
 #if CRNET_AUDIT_ENABLED
     if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
@@ -294,6 +453,11 @@ Network::runAuditSweep()
                 e.vc = v;
                 if (up == kInvalidNode) {
                     e.skip = true;  // Mesh boundary: no channel here.
+                    continue;
+                }
+                if (dynamicFaults_ &&
+                    !faults_->linkOk(up, oppositePort(p))) {
+                    e.skip = true;  // Dead wire: ledger mid-teardown.
                     continue;
                 }
                 const Router::OutputProbe o =
@@ -418,6 +582,8 @@ Network::sendMessage(NodeId src, NodeId dst, std::uint32_t payload_len,
                                                now_, measured);
     injectors_[src]->enqueue(m);
     stats_.messagesGenerated.inc();
+    if (ledger_ != nullptr)
+        ledger_->onAccepted(m);
     if (measured) {
         stats_.messagesMeasured.inc();
         ++measuredCreated_;
@@ -442,11 +608,20 @@ Network::deliveryRecord(MsgId id) const
 void
 Network::onDelivered(const DeliveredMessage& msg)
 {
+    if (ledger_ != nullptr)
+        ledger_->onDelivered(msg);
     auto it = manualPending_.find(msg.id);
     if (it != manualPending_.end()) {
         manualDelivered_[msg.id] = msg;
         manualPending_.erase(it);
     }
+}
+
+void
+Network::onMessageFailed(const PendingMessage& msg, Cycle now)
+{
+    if (ledger_ != nullptr)
+        ledger_->onRefused(msg, now);
 }
 
 bool
@@ -498,6 +673,100 @@ Network::dumpOccupancy(std::ostream& os) const
         if (n > 0)
             os << "  node " << id << ": " << n << "\n";
     }
+}
+
+void
+Network::dumpForensics(std::ostream& os) const
+{
+    os << "=== forensics at cycle " << now_ << " (last activity "
+       << lastActivity_ << ") ===\n";
+
+    const auto dead = faults_->deadLinks();
+    os << "dead links (" << dead.size() << "):\n";
+    for (const DeadLink& d : dead) {
+        os << "  node " << d.node << " port " << d.port << " ("
+           << (d.kind == DeadLinkKind::Bidirectional ? "bidirectional"
+                                                     : "directed")
+           << ")\n";
+    }
+
+    // Stuck input VCs, and the oldest blocked header (the worm most
+    // likely anchoring a dependency cycle).
+    NodeId oldest_node = kInvalidNode;
+    PortId oldest_port = kInvalidPort;
+    Cycle oldest_at = now_;
+    os << "non-idle input VCs:\n";
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        const Router& r = *routers_[id];
+        for (PortId p = 0; p < r.numInPorts(); ++p) {
+            for (VcId v = 0; v < cfg_.numVcs; ++v) {
+                const Router::InputProbe ip = r.inputProbe(p, v);
+                if (ip.state == Router::VcState::Idle &&
+                    ip.buffered == 0 && !ip.killPending) {
+                    continue;
+                }
+                os << "  node " << id << " in " << p << " vc "
+                   << static_cast<int>(v) << ": "
+                   << (ip.state == Router::VcState::Active
+                           ? "Active"
+                           : ip.state == Router::VcState::Routing
+                                 ? "Routing"
+                                 : "Idle")
+                   << " msg " << ip.msg << " attempt " << ip.attempt
+                   << " buffered " << ip.buffered << " stall "
+                   << ip.stallCycles;
+                if (ip.killPending)
+                    os << " kill-pending";
+                if (ip.state == Router::VcState::Active) {
+                    os << " -> out " << ip.outPort << " vc "
+                       << static_cast<int>(ip.outVc);
+                }
+                os << " (head at " << ip.headArrivedAt << ")\n";
+                if (ip.state == Router::VcState::Routing &&
+                    ip.headArrivedAt < oldest_at) {
+                    oldest_at = ip.headArrivedAt;
+                    oldest_node = id;
+                    oldest_port = p;
+                }
+            }
+        }
+    }
+    if (oldest_node != kInvalidNode) {
+        os << "oldest blocked header: node " << oldest_node << " in "
+           << oldest_port << " waiting since " << oldest_at << "\n";
+    }
+
+    os << "active injector slots:\n";
+    for (NodeId id = 0; id < n; ++id) {
+        for (std::uint32_t ch = 0; ch < cfg_.injectionChannels; ++ch) {
+            for (VcId v = 0; v < cfg_.numVcs; ++v) {
+                const Injector::SlotProbe sp =
+                    injectors_[id]->slotProbe(ch, v);
+                if (!sp.active)
+                    continue;
+                os << "  node " << id << " ch " << ch << " vc "
+                   << static_cast<int>(v) << ": msg " << sp.msg
+                   << " -> " << sp.dst << " attempt " << sp.attempt
+                   << " seq " << sp.nextSeq << "/" << sp.wireLen
+                   << " credits " << sp.credits << " stall "
+                   << sp.stallCycles << "\n";
+            }
+        }
+    }
+
+    os << "open assemblies:\n";
+    for (NodeId id = 0; id < n; ++id) {
+        for (const Receiver::AssemblyProbe& ap :
+             receivers_[id]->openAssemblies()) {
+            os << "  node " << id << ": msg " << ap.msg << " from "
+               << ap.src << " attempt " << ap.attempt << " seq "
+               << ap.nextSeq << "/" << ap.payloadLen
+               << " last flit at " << ap.lastFlitAt << "\n";
+        }
+    }
+
+    dumpOccupancy(os);
 }
 
 bool

@@ -20,6 +20,7 @@
 
 #include "src/core/metrics.hh"
 #include "src/fault/fault_model.hh"
+#include "src/fault/fault_schedule.hh"
 #include "src/sim/audit.hh"
 #include "src/nic/injector.hh"
 #include "src/nic/receiver.hh"
@@ -32,8 +33,10 @@
 
 namespace crnet {
 
+class DeliveryLedger;
+
 /** A complete simulated network. */
-class Network : public DeliverySink
+class Network : public DeliverySink, public MessageFailureSink
 {
   public:
     /** Build a network from a validated configuration. */
@@ -104,6 +107,34 @@ class Network : public DeliverySink
     /** Messages counted into the measurement window. */
     std::uint64_t measuredCreated() const { return measuredCreated_; }
 
+    // --- Dynamic faults ------------------------------------------------
+
+    /** The fault schedule, or null when no dynamic faults configured. */
+    const FaultSchedule* schedule() const { return schedule_.get(); }
+
+    /**
+     * Fire one fault event right now, regardless of its `at` field
+     * (tests and interactive experiments). Arms the dynamic-fault
+     * machinery on first use if the config did not.
+     */
+    void injectFaultEvent(const FaultEvent& ev);
+
+    /**
+     * Attach the campaign delivery ledger: every accepted message is
+     * recorded, every delivery/failure resolves its entry. Null to
+     * detach.
+     */
+    void attachLedger(DeliveryLedger* ledger) { ledger_ = ledger; }
+
+    /**
+     * Write the deadlock-forensics report: dead links, stuck input
+     * VCs (with the oldest blocked header), injector slots, open
+     * assemblies and the occupancy heatmap. Also emitted through
+     * warn() automatically the first time the watchdog fires under
+     * dynamic faults.
+     */
+    void dumpForensics(std::ostream& os) const;
+
     /**
      * Write an ASCII buffer-occupancy heatmap (2D topologies render
      * as a grid, others as a list). Each cell is the number of flits
@@ -114,6 +145,10 @@ class Network : public DeliverySink
 
     // DeliverySink
     void onDelivered(const DeliveredMessage& msg) override;
+
+    // MessageFailureSink (source gave up: maxRetries exhausted)
+    void onMessageFailed(const PendingMessage& msg,
+                         Cycle now) override;
 
   private:
     // Staged (next-cycle) deliveries.
@@ -178,6 +213,12 @@ class Network : public DeliverySink
     void collectReceiver(NodeId n);
     std::uint64_t activityLevel() const;
 
+    void applyFaultEvents();
+    void applyOneFaultEvent(const FaultEvent& ev);
+    /** Kill one directed channel's stranded worm state on both ends. */
+    void teardownDirectedLink(NodeId u, PortId p);
+    void repairDirectedLink(NodeId u, PortId p);
+
     /** Snapshot every credit ledger and run the invariant sweep. */
     void runAuditSweep();
 
@@ -209,6 +250,13 @@ class Network : public DeliverySink
 
     Cycle lastActivity_ = 0;
     std::uint64_t lastActivityLevel_ = 0;
+
+    // Dynamic faults (null / false unless configured or injected).
+    std::unique_ptr<FaultSchedule> schedule_;
+    bool dynamicFaults_ = false;
+    bool forensicsDumped_ = false;
+    DeliveryLedger* ledger_ = nullptr;
+    std::vector<FaultEvent> dueEvents_;  //!< collectDue scratch.
 
     /** Explicit-send tracking. */
     std::unordered_map<MsgId, DeliveredMessage> manualDelivered_;

@@ -1,0 +1,187 @@
+#include "src/fault/campaign.hh"
+
+#include "src/core/network.hh"
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+void
+DeliveryLedger::onAccepted(const PendingMessage& msg)
+{
+    LedgerEntry e;
+    e.src = msg.src;
+    e.dst = msg.dst;
+    e.createdAt = msg.createdAt;
+    e.measured = msg.measured;
+    if (!entries_.emplace(msg.id, e).second)
+        panic("message ", msg.id, " accepted twice");
+}
+
+void
+DeliveryLedger::onDelivered(const DeliveredMessage& msg)
+{
+    auto it = entries_.find(msg.id);
+    if (it == entries_.end()) {
+        ++unknown_;
+        return;
+    }
+    LedgerEntry& e = it->second;
+    if (e.fate == MessageFate::Delivered) {
+        ++duplicates_;
+        return;
+    }
+    if (e.fate == MessageFate::Refused) {
+        // The sink finalized a kill-cut copy after the source gave
+        // up. The message arrived: delivery wins.
+        e.deliveredAfterRefusal = true;
+        ++refusalRaces_;
+        --refused_;
+    }
+    e.fate = MessageFate::Delivered;
+    e.resolvedAt = msg.deliveredAt;
+    e.attempts = msg.attempts;
+    e.corrupted = msg.corrupted;
+    ++delivered_;
+    if (msg.corrupted)
+        ++corrupted_;
+}
+
+void
+DeliveryLedger::onRefused(const PendingMessage& msg, Cycle now)
+{
+    auto it = entries_.find(msg.id);
+    if (it == entries_.end()) {
+        ++unknown_;
+        return;
+    }
+    LedgerEntry& e = it->second;
+    if (e.fate != MessageFate::Pending)
+        return;  // Already delivered; the refusal loses the race.
+    e.fate = MessageFate::Refused;
+    e.resolvedAt = now;
+    e.attempts = msg.attempt;
+    ++refused_;
+}
+
+namespace {
+
+TrialOutcome
+runTrial(const CampaignConfig& cc, std::uint32_t trial)
+{
+    SimConfig cfg = cc.base;
+    cfg.seed = cc.seedBase + trial;
+
+    Network net(cfg);
+    DeliveryLedger ledger;
+    net.attachLedger(&ledger);
+
+    net.setMeasuring(false);
+    net.run(cfg.warmupCycles);
+    net.setMeasuring(true);
+    net.run(cfg.measureCycles);
+    net.setMeasuring(false);
+    net.setTrafficEnabled(false);
+
+    // Drain: let in-flight worms, retries and teardown traffic play
+    // out until the network is quiescent (or provably stuck).
+    Cycle drained = 0;
+    while (!net.quiescent() && !net.deadlocked() &&
+           drained < cc.drainCap) {
+        net.run(64);
+        drained += 64;
+    }
+
+    TrialOutcome t;
+    t.trial = trial;
+    t.seed = cfg.seed;
+    t.accepted = ledger.accepted();
+    t.delivered = ledger.delivered();
+    t.refused = ledger.refused();
+    t.pendingAtEnd = ledger.pending();
+    t.duplicates = ledger.duplicates();
+    t.faultEvents = net.stats().faultEventsApplied.value();
+    t.flitsLost = net.stats().flitsLostOnDeadLinks.value();
+    t.receiverTimeouts = net.stats().receiverTimeouts.value();
+    t.deadlocked = net.deadlocked();
+    t.fullyAccounted = ledger.fullyAccounted() && !t.deadlocked;
+    t.cyclesRun = net.now();
+
+    const FaultSchedule* sched = net.schedule();
+    t.firstFaultAt =
+        sched != nullptr ? sched->firstEventCycle() : 0;
+
+    // Latency transient and recovery time, from the ledger itself.
+    double pre_sum = 0.0, post_sum = 0.0;
+    std::uint64_t pre_n = 0, post_n = 0;
+    Cycle last_pre_resolved = 0;
+    for (const auto& entry : ledger.entries()) {
+        const LedgerEntry& e = entry.second;
+        if (e.fate != MessageFate::Delivered)
+            continue;
+        const double lat =
+            static_cast<double>(e.resolvedAt - e.createdAt);
+        if (t.firstFaultAt != 0 && e.createdAt >= t.firstFaultAt) {
+            post_sum += lat;
+            ++post_n;
+        } else {
+            pre_sum += lat;
+            ++pre_n;
+            if (e.resolvedAt > last_pre_resolved)
+                last_pre_resolved = e.resolvedAt;
+        }
+    }
+    t.preFaultLatency = pre_n > 0 ? pre_sum / pre_n : 0.0;
+    t.postFaultLatency = post_n > 0 ? post_sum / post_n : 0.0;
+    if (t.firstFaultAt != 0 && last_pre_resolved > t.firstFaultAt)
+        t.recoveryCycles = last_pre_resolved - t.firstFaultAt;
+    return t;
+}
+
+} // namespace
+
+CampaignSummary
+runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
+{
+    CampaignSummary s;
+    s.trials = cc.trials;
+
+    double pre_sum = 0.0, post_sum = 0.0, rec_sum = 0.0;
+    std::uint32_t pre_n = 0, post_n = 0;
+    for (std::uint32_t trial = 0; trial < cc.trials; ++trial) {
+        const TrialOutcome t = runTrial(cc, trial);
+        if (t.fullyAccounted)
+            ++s.accountedTrials;
+        if (t.deadlocked)
+            ++s.deadlockedTrials;
+        s.accepted += t.accepted;
+        s.delivered += t.delivered;
+        s.refused += t.refused;
+        s.pending += t.pendingAtEnd;
+        s.duplicates += t.duplicates;
+        s.faultEvents += t.faultEvents;
+        if (t.preFaultLatency > 0.0) {
+            pre_sum += t.preFaultLatency;
+            ++pre_n;
+        }
+        if (t.postFaultLatency > 0.0) {
+            post_sum += t.postFaultLatency;
+            ++post_n;
+        }
+        rec_sum += static_cast<double>(t.recoveryCycles);
+        if (t.recoveryCycles > s.maxRecoveryCycles)
+            s.maxRecoveryCycles = t.recoveryCycles;
+        if (out != nullptr)
+            out->push_back(t);
+    }
+    s.deliveryRate =
+        s.accepted > 0
+            ? static_cast<double>(s.delivered) / s.accepted
+            : 0.0;
+    s.meanPreFaultLatency = pre_n > 0 ? pre_sum / pre_n : 0.0;
+    s.meanPostFaultLatency = post_n > 0 ? post_sum / post_n : 0.0;
+    s.meanRecoveryCycles =
+        cc.trials > 0 ? rec_sum / cc.trials : 0.0;
+    return s;
+}
+
+} // namespace crnet

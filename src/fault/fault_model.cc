@@ -31,17 +31,21 @@ FaultModel::healthyDegree(NodeId node) const
     return degree;
 }
 
-void
+std::uint32_t
 FaultModel::injectPermanentFaults(std::uint32_t count,
-                                  std::uint32_t min_degree)
+                                  std::uint32_t min_degree,
+                                  bool allow_partial)
 {
     std::uint32_t injected = 0;
     std::uint32_t attempts = 0;
     const std::uint32_t max_attempts = 1000 * (count + 1);
     while (injected < count) {
-        if (++attempts > max_attempts)
+        if (++attempts > max_attempts) {
+            if (allow_partial)
+                return injected;
             fatal("could not place ", count, " permanent faults while "
                   "keeping node degree >= ", min_degree);
+        }
         const auto node =
             static_cast<NodeId>(rng_.below(topo_.numNodes()));
         const auto port =
@@ -62,6 +66,7 @@ FaultModel::injectPermanentFaults(std::uint32_t count,
         ++injected;
         ++permanent_;
     }
+    return injected;
 }
 
 void
@@ -73,16 +78,62 @@ FaultModel::killDirectedLink(NodeId node, PortId port)
     dead_[index(node, port)] = true;
 }
 
+void
+FaultModel::killLink(NodeId node, PortId port)
+{
+    const NodeId nbr = topo_.neighbor(node, port);
+    if (nbr == kInvalidNode)
+        fatal("cannot kill nonexistent link (node ", node, ", port ",
+              port, ")");
+    dead_[index(node, port)] = true;
+    dead_[index(nbr, oppositePort(port))] = true;
+}
+
+void
+FaultModel::reviveDirectedLink(NodeId node, PortId port)
+{
+    if (topo_.neighbor(node, port) == kInvalidNode)
+        fatal("cannot revive nonexistent link (node ", node, ", port ",
+              port, ")");
+    dead_[index(node, port)] = false;
+}
+
+void
+FaultModel::reviveLink(NodeId node, PortId port)
+{
+    const NodeId nbr = topo_.neighbor(node, port);
+    if (nbr == kInvalidNode)
+        fatal("cannot revive nonexistent link (node ", node, ", port ",
+              port, ")");
+    dead_[index(node, port)] = false;
+    dead_[index(nbr, oppositePort(port))] = false;
+}
+
 bool
 FaultModel::linkOk(NodeId node, PortId port) const
 {
     return !dead_[index(node, port)];
 }
 
+void
+FaultModel::setBurstRate(double rate)
+{
+    if (rate < 0.0 || rate > 1.0)
+        fatal("burst fault rate must be in [0, 1]");
+    burstRate_ = rate;
+}
+
+double
+FaultModel::effectiveTransientRate() const
+{
+    return burstRate_ > transientRate_ ? burstRate_ : transientRate_;
+}
+
 bool
 FaultModel::maybeCorrupt(Flit& flit)
 {
-    if (transientRate_ <= 0.0 || !rng_.chance(transientRate_))
+    const double rate = effectiveTransientRate();
+    if (rate <= 0.0 || !rng_.chance(rate))
         return false;
     // Scramble the payload without touching the stored CRC: the
     // receiver's checksum check then fails, which is the hardware
@@ -93,15 +144,32 @@ FaultModel::maybeCorrupt(Flit& flit)
     return true;
 }
 
-std::vector<std::pair<NodeId, PortId>>
+std::uint32_t
+FaultModel::deadDirectedCount() const
+{
+    std::uint32_t n = 0;
+    for (const bool d : dead_)
+        n += d ? 1 : 0;
+    return n;
+}
+
+std::vector<DeadLink>
 FaultModel::deadLinks() const
 {
-    std::vector<std::pair<NodeId, PortId>> out;
+    std::vector<DeadLink> out;
     for (NodeId node = 0; node < topo_.numNodes(); ++node) {
         for (PortId port = 0; port < topo_.numPorts(); ++port) {
             if (!dead_[index(node, port)])
                 continue;
-            out.emplace_back(node, port);
+            const NodeId nbr = topo_.neighbor(node, port);
+            DeadLink d;
+            d.node = node;
+            d.port = port;
+            d.kind = (nbr != kInvalidNode &&
+                      !linkOk(nbr, oppositePort(port)))
+                         ? DeadLinkKind::Bidirectional
+                         : DeadLinkKind::Directed;
+            out.push_back(d);
         }
     }
     return out;

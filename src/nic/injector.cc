@@ -87,7 +87,26 @@ Injector::acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg)
 {
     Slot& s = slot(inj_channel, vc);
     if (s.state != Slot::State::Active || s.msg.id != msg) {
-        // The worm already finished or was killed from this side.
+        // Stale abort. If the slot is mid-cooldown (we killed the
+        // worm from this side) the ledger resync is already underway.
+        // Otherwise the worm finished injecting before its flits were
+        // purged upstream, so their credits will never return: run
+        // the slot through a cooldown to reset the ledger. A reused
+        // slot whose head is not out yet goes back to the queue
+        // (injection requires a full ledger, so nothing of it is in
+        // flight); one whose head was injected saw a full ledger at
+        // that point, meaning the purge predates it and credits are
+        // already settled.
+        if (s.state == Slot::State::Cooldown)
+            return;
+        if (s.state == Slot::State::Active) {
+            if (s.nextSeq != 0)
+                return;
+            busyDests_.erase(s.msg.dst);
+            queue_.push_front(s.msg);
+        }
+        s.state = Slot::State::Cooldown;
+        s.cooldownUntil = 0;
         return;
     }
     stats_->abortedByBkill.inc();
@@ -112,6 +131,8 @@ Injector::requeueForRetry(PendingMessage msg, Cycle now)
         if (msg.measured)
             stats_->measuredFailed.inc();
         busyDests_.erase(msg.dst);
+        if (failureSink_ != nullptr)
+            failureSink_->onMessageFailed(msg, now);
         return;
     }
     msg.notBefore = now + retransmissionGap(cfg_, kills, rng_);
@@ -385,6 +406,24 @@ Injector::tick(Cycle now)
     checkTimeouts(now);
     startWorms(now);
     injectFlits(now);
+}
+
+Injector::SlotProbe
+Injector::slotProbe(std::uint32_t ch, VcId vc) const
+{
+    const Slot& s = slot(ch, vc);
+    SlotProbe p;
+    p.active = s.state == Slot::State::Active;
+    if (p.active) {
+        p.msg = s.msg.id;
+        p.dst = s.msg.dst;
+        p.attempt = s.msg.attempt;
+        p.nextSeq = s.nextSeq;
+        p.wireLen = s.wireLen;
+        p.stallCycles = s.stallCycles;
+    }
+    p.credits = s.credits;
+    return p;
 }
 
 std::uint32_t

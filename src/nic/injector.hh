@@ -51,6 +51,18 @@ struct InjectedFlit
     Flit flit;
 };
 
+/**
+ * Observer of messages the source gives up on (maxRetries exhausted).
+ * The delivery ledger uses this to account every refused message.
+ */
+class MessageFailureSink
+{
+  public:
+    virtual ~MessageFailureSink() = default;
+    virtual void onMessageFailed(const PendingMessage& msg,
+                                 Cycle now) = 0;
+};
+
 /** Per-node source interface. */
 class Injector
 {
@@ -94,6 +106,26 @@ class Injector
 
     /** True when nothing is queued or in flight at this source. */
     bool idle() const;
+
+    /** Attach an observer for given-up messages (null to detach). */
+    void setFailureSink(MessageFailureSink* sink)
+    {
+        failureSink_ = sink;
+    }
+
+    /** Forensic snapshot of one injection slot (watchdog dump). */
+    struct SlotProbe
+    {
+        bool active = false;
+        MsgId msg = kInvalidMsg;
+        NodeId dst = kInvalidNode;
+        std::uint16_t attempt = 0;
+        std::uint32_t nextSeq = 0;
+        std::uint32_t wireLen = 0;
+        std::uint32_t credits = 0;
+        Cycle stallCycles = 0;
+    };
+    SlotProbe slotProbe(std::uint32_t ch, VcId vc) const;
 
     // --- Audit probes (see src/sim/audit.hh) --------------------------
 
@@ -141,6 +173,7 @@ class Injector
     const RoutingAlgorithm& algo_;
     NetworkStats* stats_;
     Auditor* audit_ = nullptr;
+    MessageFailureSink* failureSink_ = nullptr;
     Rng rng_;
 
     std::deque<PendingMessage> queue_;

@@ -13,6 +13,10 @@ Receiver::Receiver(NodeId node, const SimConfig& cfg, NodeId num_nodes,
 {
     if (stats == nullptr)
         panic("Receiver requires a NetworkStats block");
+    // Far beyond any stall the source timeout resolves on its own
+    // (timeout scales with VC sharing, plus kill/retry round trips).
+    const Cycle legit = 16 * (cfg.timeout + 1) * cfg.numVcs;
+    starvationThreshold_ = legit < 512 ? 512 : legit;
     bufs_.reserve(static_cast<std::size_t>(cfg.ejectionChannels) *
                   cfg.numVcs);
     for (std::size_t i = 0;
@@ -59,15 +63,24 @@ Receiver::acceptFlit(std::uint32_t ej_channel, VcId vc,
                                             flit));
 
     if (flit.isKill()) {
-        // Forward kill: discard the partial message (unless the token
-        // is stale — a newer attempt already started assembling).
+        // Forward kill: terminate the partial message (unless the
+        // token is stale — a newer attempt already started
+        // assembling). Under dynamic faults the buffered remainder of
+        // the killed attempt is first folded into the assembly, so a
+        // worm cut *after* its payload fully arrived can still be
+        // finalized instead of thrown away (tick resolves it).
+        if (dynamicFaults_)
+            drainIntoAssembly(ej_channel, vc, flit.msg);
         const std::size_t purged = b.buf.purge();
         stats_->router.flitsPurged.inc(purged);
         CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
         auto it = assemblies_.find(flit.msg);
         if (it != assemblies_.end() &&
             it->second.attempt <= flit.attempt) {
-            assemblies_.erase(it);
+            if (dynamicFaults_)
+                it->second.terminated = true;
+            else
+                assemblies_.erase(it);
         }
         b.refusing = false;
         b.refusedMsg = kInvalidMsg;
@@ -133,6 +146,7 @@ Receiver::consume(std::uint32_t ch, VcId vc, Cycle now)
         a.attempt = flit.attempt;
         a.nextSeq = 0;
         a.corrupted = false;
+        a.terminated = false;
     } else if (a.src == kInvalidNode) {
         // Continuation of an attempt whose assembly is already gone
         // (superseded and then delivered/killed): discard.
@@ -146,6 +160,11 @@ Receiver::consume(std::uint32_t ch, VcId vc, Cycle now)
         panic("continuation of attempt ", flit.attempt,
               " before its head for msg ", flit.msg);
     }
+
+    noteFlit(a, flit);
+    a.lastFlitAt = now;
+    a.ejChannel = ch;
+    a.vc = vc;
 
     if (flit.seq != a.nextSeq)
         panic("out-of-order flit within worm: msg ", flit.msg,
@@ -162,27 +181,14 @@ Receiver::consume(std::uint32_t ch, VcId vc, Cycle now)
 }
 
 void
-Receiver::deliver(const Flit& tail, const Assembly& a, Cycle now)
+Receiver::commitDelivery(const DeliveredMessage& d)
 {
-    DeliveredMessage d;
-    d.id = tail.msg;
-    d.src = a.src;
-    d.dst = node_;
-    d.payloadLen = tail.payloadLen;
-    d.pairSeq = tail.pairSeq;
-    d.createdAt = tail.createdAt;
-    d.headInjectedAt = tail.headInjectedAt;
-    d.deliveredAt = now;
-    d.attempts = static_cast<std::uint16_t>(a.attempt + 1);
-    d.measured = tail.measured;
-    d.corrupted = a.corrupted;
-
     stats_->messagesDelivered.inc();
     ++delivered_;
     if (d.corrupted)
         stats_->corruptedDeliveries.inc();
 
-    checkDeliveryOrder(a.src, d.pairSeq);
+    checkDeliveryOrder(d.src, d.pairSeq);
 
     if (d.measured) {
         stats_->measuredDelivered.inc();
@@ -196,8 +202,149 @@ Receiver::deliver(const Flit& tail, const Assembly& a, Cycle now)
     }
     if (sink_ != nullptr)
         sink_->onDelivered(d);
+}
 
+void
+Receiver::deliver(const Flit& tail, const Assembly& a, Cycle now)
+{
+    // A retransmission can complete after a kill-cut copy of the same
+    // message was already finalized; deliver that pairSeq only once.
+    if (dynamicFaults_) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(a.src) << 32) | tail.pairSeq;
+        if (seenSeq_.count(key) != 0) {
+            stats_->retryDuplicatesSuppressed.inc();
+            assemblies_.erase(tail.msg);
+            return;
+        }
+    }
+
+    DeliveredMessage d;
+    d.id = tail.msg;
+    d.src = a.src;
+    d.dst = node_;
+    d.payloadLen = tail.payloadLen;
+    d.pairSeq = tail.pairSeq;
+    d.createdAt = tail.createdAt;
+    d.headInjectedAt = tail.headInjectedAt;
+    d.deliveredAt = now;
+    d.attempts = static_cast<std::uint16_t>(a.attempt + 1);
+    d.measured = tail.measured;
+    d.corrupted = a.corrupted;
+
+    commitDelivery(d);
     assemblies_.erase(tail.msg);
+}
+
+void
+Receiver::noteFlit(Assembly& a, const Flit& flit)
+{
+    a.payloadLen = flit.payloadLen;
+    a.pairSeq = flit.pairSeq;
+    a.createdAt = flit.createdAt;
+    a.headInjectedAt = flit.headInjectedAt;
+    a.measured = flit.measured;
+}
+
+void
+Receiver::drainIntoAssembly(std::uint32_t ch, VcId vc, MsgId msg)
+{
+    auto it = assemblies_.find(msg);
+    if (it == assemblies_.end())
+        return;
+    Assembly& a = it->second;
+    VcBuffer& b = vcBuf(ch, vc);
+    while (!b.buf.empty()) {
+        const Flit& front = b.buf.front();
+        if (front.msg != msg || front.attempt != a.attempt ||
+            front.seq != a.nextSeq) {
+            break;  // The caller purges whatever remains.
+        }
+        const Flit f = b.buf.pop();
+        // Folded flits count as purged, not consumed: they return no
+        // credits (the ejection ledger resets with the teardown) and
+        // leave every flit-conservation invariant untouched.
+        stats_->router.flitsPurged.inc();
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(1));
+        noteFlit(a, f);
+        ++a.nextSeq;
+        if ((f.type == FlitType::Head || f.type == FlitType::Body) &&
+            (f.corrupted || !f.checksumOk())) {
+            a.corrupted = true;
+        }
+    }
+}
+
+void
+Receiver::resolveTerminated(MsgId msg, Assembly& a, Cycle now)
+{
+    const bool complete =
+        a.payloadLen > 0 && a.nextSeq >= a.payloadLen;
+    // CR delivers whatever arrived (corruption is CR's known blind
+    // spot and is counted at delivery); FCR never finalizes a
+    // corrupted payload — the retransmission carries the clean copy.
+    bool finalize = complete;
+    if (cfg_.protocol == ProtocolKind::Fcr && a.corrupted)
+        finalize = false;
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a.src) << 32) | a.pairSeq;
+    if (finalize && seenSeq_.count(key) != 0) {
+        stats_->retryDuplicatesSuppressed.inc();
+        finalize = false;
+    } else if (finalize) {
+        stats_->assembliesFinalized.inc();
+        DeliveredMessage d;
+        d.id = msg;
+        d.src = a.src;
+        d.dst = node_;
+        d.payloadLen = a.payloadLen;
+        d.pairSeq = a.pairSeq;
+        d.createdAt = a.createdAt;
+        d.headInjectedAt = a.headInjectedAt;
+        d.deliveredAt = now;
+        d.attempts = static_cast<std::uint16_t>(a.attempt + 1);
+        d.measured = a.measured;
+        d.corrupted = a.corrupted;
+        commitDelivery(d);
+    } else {
+        stats_->assembliesDiscarded.inc();
+    }
+    assemblies_.erase(msg);
+}
+
+void
+Receiver::checkStarvation(Cycle now)
+{
+    std::vector<MsgId> starved;
+    for (const auto& entry : assemblies_) {
+        if (!entry.second.terminated &&
+            now - entry.second.lastFlitAt > starvationThreshold_) {
+            starved.push_back(entry.first);
+        }
+    }
+    for (const MsgId id : starved) {
+        auto it = assemblies_.find(id);
+        Assembly& a = it->second;
+        stats_->receiverTimeouts.inc();
+        // Salvage what the buffer still holds, then drop the rest
+        // (e.g. a refused corrupt flit at the head).
+        drainIntoAssembly(a.ejChannel, a.vc, id);
+        VcBuffer& b = vcBuf(a.ejChannel, a.vc);
+        if (!b.buf.empty() && b.buf.front().msg == id) {
+            const std::size_t purged = b.buf.purge();
+            stats_->router.flitsPurged.inc(purged);
+            CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
+        }
+        if (b.refusedMsg == id) {
+            b.refusing = false;
+            b.refusedMsg = kInvalidMsg;
+        }
+        // Tear the stranded ejection reservation down toward the
+        // source; the router treats this like any backward kill.
+        bkills.push_back(ReceiverCredit{a.ejChannel, a.vc});
+        resolveTerminated(id, a, now);
+    }
 }
 
 void
@@ -220,6 +367,22 @@ void
 Receiver::tick(Cycle now)
 {
     credits.clear();
+    bkills.clear();
+    if (dynamicFaults_) {
+        // Resolve kill-terminated assemblies (collected first: the
+        // resolution erases map entries).
+        std::vector<MsgId> done;
+        for (const auto& entry : assemblies_)
+            if (entry.second.terminated)
+                done.push_back(entry.first);
+        for (const MsgId id : done) {
+            auto it = assemblies_.find(id);
+            if (it != assemblies_.end())
+                resolveTerminated(id, it->second, now);
+        }
+        if (now % 64 == 0)
+            checkStarvation(now);
+    }
     for (std::uint32_t ch = 0; ch < cfg_.ejectionChannels; ++ch) {
         for (std::uint32_t i = 0; i < cfg_.numVcs; ++i) {
             const VcId vc = static_cast<VcId>(
@@ -239,6 +402,24 @@ Receiver::tick(Cycle now)
             // Refused at the head: try another VC this cycle.
         }
     }
+}
+
+std::vector<Receiver::AssemblyProbe>
+Receiver::openAssemblies() const
+{
+    std::vector<AssemblyProbe> out;
+    out.reserve(assemblies_.size());
+    for (const auto& entry : assemblies_) {
+        AssemblyProbe p;
+        p.msg = entry.first;
+        p.src = entry.second.src;
+        p.attempt = entry.second.attempt;
+        p.nextSeq = entry.second.nextSeq;
+        p.payloadLen = entry.second.payloadLen;
+        p.lastFlitAt = entry.second.lastFlitAt;
+        out.push_back(p);
+    }
+    return out;
 }
 
 bool

@@ -18,6 +18,18 @@
  *    exempt from the check (a fault there is harmless, and refusing
  *    on one could slip past the padding window).
  *
+ * Under dynamic faults (setDynamicFaults) the receiver additionally
+ * owns the sink half of mid-flight link-death recovery: a kill token
+ * that terminates a worm first folds the already-buffered flits into
+ * the assembly, then *finalizes* the message if the payload is
+ * complete (FCR's round-trip padding guarantees exactly this for any
+ * post-commit cut) instead of discarding it; deliveries whose
+ * (src, pairSeq) was already seen are suppressed silently (the
+ * retransmission racing a finalize); and a starvation timeout
+ * resolves assemblies whose worm went quiet without a kill ever
+ * arriving, tearing the stranded ejection reservation down with a
+ * receiver-issued backward kill.
+ *
  * The receiver also checks the per-(src,dst) sequence number of every
  * delivered message, counting order violations and duplicates — the
  * paper's order-preservation and exactly-once claims become measured
@@ -94,12 +106,37 @@ class Receiver
     /** Credits owed to the router's ejection output VCs this cycle. */
     std::vector<ReceiverCredit> credits;
 
+    /**
+     * Backward kills owed to the router's ejection output VCs this
+     * cycle (starvation timeouts; dynamic-fault mode only).
+     */
+    std::vector<ReceiverCredit> bkills;
+
     // --- Introspection ---------------------------------------------------
 
     /** True when no flits are buffered and no assembly is open. */
     bool idle() const;
 
     std::uint64_t deliveredCount() const { return delivered_; }
+
+    /**
+     * Arm the dynamic-fault sink machinery (kill-time finalize,
+     * duplicate suppression, starvation timeout). Off by default so
+     * fault-free configurations behave exactly as before.
+     */
+    void setDynamicFaults(bool on) { dynamicFaults_ = on; }
+
+    /** Forensic snapshot of one open assembly (watchdog dump). */
+    struct AssemblyProbe
+    {
+        MsgId msg = kInvalidMsg;
+        NodeId src = kInvalidNode;
+        std::uint16_t attempt = 0;
+        std::uint32_t nextSeq = 0;
+        std::uint32_t payloadLen = 0;
+        Cycle lastFlitAt = 0;
+    };
+    std::vector<AssemblyProbe> openAssemblies() const;
 
     // --- Audit probes (see src/sim/audit.hh) --------------------------
 
@@ -128,13 +165,31 @@ class Receiver
         std::uint16_t attempt = 0;
         std::uint32_t nextSeq = 0;
         bool corrupted = false;
+
+        // Dynamic-fault bookkeeping (every flit carries the message
+        // metadata, so a kill-terminated assembly can still be
+        // finalized into a full DeliveredMessage).
+        std::uint32_t payloadLen = 0;
+        std::uint32_t pairSeq = 0;
+        Cycle createdAt = 0;
+        Cycle headInjectedAt = 0;
+        bool measured = false;
+        std::uint32_t ejChannel = 0;
+        VcId vc = 0;
+        Cycle lastFlitAt = 0;
+        bool terminated = false;  //!< Kill seen; resolve next tick.
     };
 
     VcBuffer& vcBuf(std::uint32_t ch, VcId vc);
     const VcBuffer& vcBuf(std::uint32_t ch, VcId vc) const;
     void consume(std::uint32_t ch, VcId vc, Cycle now);
     void deliver(const Flit& tail, const Assembly& a, Cycle now);
+    void commitDelivery(const DeliveredMessage& d);
     void checkDeliveryOrder(NodeId src, std::uint32_t pair_seq);
+    void noteFlit(Assembly& a, const Flit& flit);
+    void drainIntoAssembly(std::uint32_t ch, VcId vc, MsgId msg);
+    void resolveTerminated(MsgId msg, Assembly& a, Cycle now);
+    void checkStarvation(Cycle now);
 
     NodeId node_;
     const SimConfig& cfg_;
@@ -155,6 +210,15 @@ class Receiver
     std::vector<std::int64_t> lastSeq_;  //!< Per source, -1 initially.
     std::unordered_set<std::uint64_t> seenSeq_;  //!< (src<<32)|seq.
     std::uint64_t delivered_ = 0;
+
+    bool dynamicFaults_ = false;
+    /**
+     * Starvation backstop: far beyond any legitimate stall (the
+     * source timeout resolves those), so it only fires when the
+     * worm's kill was lost to cascading link deaths. A spurious fire
+     * is still safe — it acts like a receiver-side path-wide kill.
+     */
+    Cycle starvationThreshold_ = 0;
 };
 
 } // namespace crnet

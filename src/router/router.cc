@@ -115,6 +115,7 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit)
             in.msg = flit.msg;
             in.attempt = flit.attempt;
             in.stallCycles = 0;
+            in.headArrivedAt = now_;
             return;
         }
         // Continuation of a worm that was purged here (backward-kill
@@ -159,12 +160,34 @@ Router::processBkills()
     for (const SentBkill& bk : pendingBkillsAsOut_) {
         OutputVc& o = ovc(bk.inPort, bk.vc);
         if (!o.allocated) {
+            // The worm released this output (tail passed) before the
+            // downstream purge that sent the bkill; the purged flits'
+            // credits never come back, so reset the ledger the same
+            // way a live teardown does.
             stats_->staleKills.inc();
+            o.credits = cfg_.bufferDepth;
+            o.quarantineUntil = now_ + 2 * cfg_.channelLatency;
             continue;
         }
         const PortId hp = o.holderPort;
         const VcId hv = o.holderVc;
         InputVc& in = ivc(hp, hv);
+        if (in.state != InputVc::State::Active ||
+            in.outPort != bk.inPort || in.outVc != bk.vc) {
+            // The holder record is stale: the worm that held this
+            // output already died from its own side (a forward kill
+            // accepted on the input VC releases the output only when
+            // it crosses the switch), and the input VC may by now
+            // carry a brand-new worm headed elsewhere. That worm's
+            // upstream was cleaned by the original kill chain —
+            // propagating a bkill here would tear an innocent
+            // bystander on the reused wire. Just release the output.
+            stats_->staleKills.inc();
+            o.allocated = false;
+            o.credits = cfg_.bufferDepth;
+            o.quarantineUntil = now_ + 2 * cfg_.channelLatency;
+            continue;
+        }
         const MsgId msg = in.msg;
         const std::size_t purged = in.buf.purge();
         stats_->flitsPurged.inc(purged);
@@ -411,6 +434,85 @@ Router::killWormAt(PortId p, VcId v)
 }
 
 void
+Router::onOutputLinkDead(PortId out_port, Cycle now)
+{
+    for (VcId v = 0; v < numVcs_; ++v) {
+        OutputVc& o = ovc(out_port, v);
+        if (o.allocated) {
+            // Tear the holding worm down toward its source exactly as
+            // if a backward kill had arrived over the (now dead)
+            // wire; the queue is processed first thing this tick, so
+            // the chain reaches the injector before new traffic can
+            // claim the stranded buffers.
+            pendingBkillsAsOut_.push_back(SentBkill{out_port, v});
+            stats_->linkDeathTeardowns.inc();
+        } else {
+            // Flits the far side purges never return credits; reset
+            // the ledger and quarantine against credits still on the
+            // wire from before the cut.
+            o.credits = cfg_.bufferDepth;
+            o.quarantineUntil = now + 2 * cfg_.channelLatency;
+        }
+    }
+}
+
+void
+Router::onInputLinkDead(PortId in_port, Cycle now)
+{
+    for (VcId v = 0; v < numVcs_; ++v) {
+        InputVc& in = ivc(in_port, v);
+        if (in.state == InputVc::State::Idle)
+            continue;  // Nothing stranded on this VC.
+        const MsgId msg = in.msg;
+        const std::size_t purged = in.buf.purge();
+        stats_->flitsPurged.inc(purged);
+        stats_->linkDeathTeardowns.inc();
+        CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
+        CRNET_AUDIT_HOOK(audit_, onChannelReset(id_, in_port, v, msg));
+        if (in.state == InputVc::State::Active) {
+            // The worm continues downstream. Its source's kill token
+            // can no longer cross the dead wire, so the break point
+            // issues the chasing token itself; it runs to the header
+            // (annihilation) or to the receiver (discard/finalize).
+            Flit token;
+            token.type = FlitType::Kill;
+            token.msg = msg;
+            token.attempt = in.attempt;
+            CRNET_AUDIT_HOOK(audit_, onKillIssued(msg, in.attempt));
+            in.killPending = true;
+            in.killFlit = token;
+            in.killOutPort = in.outPort;
+            in.killOutVc = in.outVc;
+        } else {
+            // The header was still waiting here: it dies with the
+            // wire, like a kill/header annihilation.
+            stats_->killsAnnihilated.inc();
+        }
+        in.state = InputVc::State::Idle;
+        in.purgeMsg = msg;
+        in.msg = kInvalidMsg;
+        in.stallCycles = 0;
+    }
+    (void)now;
+}
+
+void
+Router::onOutputLinkRepaired(PortId out_port, Cycle now)
+{
+    for (VcId v = 0; v < numVcs_; ++v) {
+        OutputVc& o = ovc(out_port, v);
+        if (o.allocated) {
+            // Routing never allocates an output over a dead link, and
+            // the death-time teardown deallocated the old holder.
+            panic("repaired output (", out_port, ", ", v, ") at node ",
+                  id_, " is still allocated");
+        }
+        o.credits = cfg_.bufferDepth;
+        o.quarantineUntil = now + 2 * cfg_.channelLatency;
+    }
+}
+
+void
 Router::checkRouterTimeouts()
 {
     // PathWide watches every worm segment; DropAtBlock (the BBN
@@ -483,6 +585,27 @@ bool
 Router::vcIdle(PortId in_port, VcId vc) const
 {
     return ivc(in_port, vc).state == InputVc::State::Idle;
+}
+
+Router::InputProbe
+Router::inputProbe(PortId in_port, VcId vc) const
+{
+    const InputVc& in = ivc(in_port, vc);
+    InputProbe p;
+    switch (in.state) {
+      case InputVc::State::Idle: p.state = VcState::Idle; break;
+      case InputVc::State::Routing: p.state = VcState::Routing; break;
+      case InputVc::State::Active: p.state = VcState::Active; break;
+    }
+    p.msg = in.msg;
+    p.attempt = in.attempt;
+    p.buffered = static_cast<std::uint32_t>(in.buf.size());
+    p.stallCycles = in.stallCycles;
+    p.killPending = in.killPending;
+    p.outPort = in.outPort;
+    p.outVc = in.outVc;
+    p.headArrivedAt = in.headArrivedAt;
+    return p;
 }
 
 std::uint32_t

@@ -65,6 +65,8 @@ struct RouterStats
     Counter staleKills;         //!< Kill/bkill tokens that found their
                                 //!< worm already gone.
     Counter lateCreditsDropped; //!< Credits arriving after kill reset.
+    Counter linkDeathTeardowns; //!< Worm segments reclaimed because a
+                                //!< link died under them.
 };
 
 /** A flit leaving the router this cycle. */
@@ -140,6 +142,33 @@ class Router
      */
     void tick(Cycle now);
 
+    // --- Dynamic faults (Network calls these when a link dies) -------
+
+    /**
+     * The directed link leaving `out_port` just died. Worms holding
+     * one of its output VCs are torn down toward their source via the
+     * backward-kill path (processed first thing this tick); orphaned
+     * credit ledgers reset to "downstream empty" — purged flits never
+     * return credits over a dead wire.
+     */
+    void onOutputLinkDead(PortId out_port, Cycle now);
+
+    /**
+     * The directed link feeding `in_port` just died. Stranded worm
+     * state is purged; an Active worm's downstream fragment is chased
+     * with a kill token issued at the break point (the source's own
+     * kill can no longer cross the dead wire), while a still-waiting
+     * header simply dies with the wire.
+     */
+    void onInputLinkDead(PortId in_port, Cycle now);
+
+    /**
+     * The directed link leaving `out_port` was repaired: re-arm its
+     * credit ledgers. The death-time teardown guarantees the far side
+     * is empty, so every ledger restarts at "downstream empty".
+     */
+    void onOutputLinkRepaired(PortId out_port, Cycle now);
+
     // --- Outboxes (valid after tick; cleared at next tick) -----------
     std::vector<SentFlit> sentFlits;
     std::vector<SentCredit> sentCredits;
@@ -156,6 +185,24 @@ class Router
 
     /** State of one input VC (test hook). */
     bool vcIdle(PortId in_port, VcId vc) const;
+
+    /** Input-VC state machine phases (forensics/probe mirror). */
+    enum class VcState : std::uint8_t { Idle, Routing, Active };
+
+    /** Forensic snapshot of one input VC (watchdog dump). */
+    struct InputProbe
+    {
+        VcState state = VcState::Idle;
+        MsgId msg = kInvalidMsg;
+        std::uint16_t attempt = 0;
+        std::uint32_t buffered = 0;
+        Cycle stallCycles = 0;
+        bool killPending = false;
+        PortId outPort = kInvalidPort;
+        VcId outVc = kInvalidVc;
+        Cycle headArrivedAt = 0;  //!< Approximate (register time).
+    };
+    InputProbe inputProbe(PortId in_port, VcId vc) const;
 
     // --- Audit probes (see src/sim/audit.hh) --------------------------
 
@@ -192,6 +239,7 @@ class Router
         PortId outPort = kInvalidPort;  //!< Allocation when Active.
         VcId outVc = kInvalidVc;
         Cycle stallCycles = 0;          //!< For the path-wide scheme.
+        Cycle headArrivedAt = 0;        //!< Header accept (forensics).
         bool movedThisCycle = false;    //!< Progress flag (stall calc).
         bool killPending = false;       //!< Kill token to forward.
         Flit killFlit;                  //!< The stored token.

@@ -42,6 +42,14 @@ SimConfig::numNodes() const
     return n;
 }
 
+bool
+SimConfig::hasDynamicFaults() const
+{
+    return dynamicLinkKills > 0 || dynamicDirectedKills > 0 ||
+           dynamicRouterKills > 0 || burstLen > 0 ||
+           !faultScenario.empty();
+}
+
 void
 SimConfig::validate() const
 {
@@ -65,6 +73,17 @@ SimConfig::validate() const
         fatal("injectionRate must be in [0, injectionChannels]");
     if (transientFaultRate < 0.0 || transientFaultRate > 1.0)
         fatal("transientFaultRate must be in [0, 1]");
+    if (burstRate < 0.0 || burstRate > 1.0)
+        fatal("burstRate must be in [0, 1]");
+    if (faultWindowEnd != 0 && faultWindowEnd <= faultWindowStart)
+        fatal("fault window must end after it starts");
+    if (protocol == ProtocolKind::None &&
+        (dynamicLinkKills > 0 || dynamicDirectedKills > 0 ||
+         dynamicRouterKills > 0 || !faultScenario.empty())) {
+        fatal("dynamic link/router faults need a recovery protocol "
+              "(cr or fcr); plain wormhole cannot reclaim a worm "
+              "stranded on a dead link");
+    }
 
     const bool mesh_only = routing == RoutingKind::WestFirst ||
                            routing == RoutingKind::NegativeFirst ||
@@ -147,6 +166,22 @@ SimConfig::set(const std::string& key, const std::string& value)
         parseF64(key, value);
     else if (key == "permanent_faults") permanentLinkFaults =
         static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "dyn_link_kills") dynamicLinkKills =
+        static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "dyn_directed_kills") dynamicDirectedKills =
+        static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "dyn_router_kills") dynamicRouterKills =
+        static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "fault_window_start") faultWindowStart =
+        parseU64(key, value);
+    else if (key == "fault_window_end") faultWindowEnd =
+        parseU64(key, value);
+    else if (key == "link_repair_after") linkRepairAfter =
+        parseU64(key, value);
+    else if (key == "burst_start") burstStart = parseU64(key, value);
+    else if (key == "burst_len") burstLen = parseU64(key, value);
+    else if (key == "burst_rate") burstRate = parseF64(key, value);
+    else if (key == "fault_scenario") faultScenario = value;
     else if (key == "seed") seed = parseU64(key, value);
     else if (key == "warmup") warmupCycles = parseU64(key, value);
     else if (key == "measure") measureCycles = parseU64(key, value);

@@ -123,6 +123,30 @@ struct SimConfig
     double transientFaultRate = 0.0;  //!< P(corrupt) per flit-hop.
     std::uint32_t permanentLinkFaults = 0;  //!< Dead links at t=0.
 
+    // --- Dynamic faults (FaultSchedule; fired mid-simulation) -------
+    std::uint32_t dynamicLinkKills = 0;  //!< Random bidirectional
+                                         //!< link deaths.
+    std::uint32_t dynamicDirectedKills = 0;  //!< Random one-way
+                                             //!< link deaths.
+    std::uint32_t dynamicRouterKills = 0;  //!< Random fail-stop
+                                           //!< routers.
+    /**
+     * Window the stochastic fault cycles are drawn from. end = 0
+     * means "the measurement phase": [warmup, warmup + measure).
+     */
+    Cycle faultWindowStart = 0;
+    Cycle faultWindowEnd = 0;
+    Cycle linkRepairAfter = 0;  //!< Revive each killed link this many
+                                //!< cycles after its death; 0 = never.
+    Cycle burstStart = 0;       //!< Burst window start (0 = window
+                                //!< start).
+    Cycle burstLen = 0;         //!< Burst window length; 0 = no burst.
+    double burstRate = 0.0;     //!< P(corrupt) during the burst.
+    std::string faultScenario;  //!< Scenario file path ("" = none).
+
+    /** True when any dynamic-fault machinery must be armed. */
+    bool hasDynamicFaults() const;
+
     // --- Experiment ---------------------------------------------------
     std::uint64_t seed = 1;
     Cycle warmupCycles = 2000;

@@ -28,11 +28,71 @@ TEST(FaultModel, PermanentFaultsKillBothDirections)
     EXPECT_EQ(fm.permanentFaultCount(), 3u);
     const auto dead = fm.deadLinks();
     EXPECT_EQ(dead.size(), 6u);  // 3 physical links, 2 directions.
-    for (const auto& [node, port] : dead) {
-        const NodeId nbr = t.neighbor(node, port);
-        EXPECT_FALSE(fm.linkOk(node, port));
-        EXPECT_FALSE(fm.linkOk(nbr, oppositePort(port)));
+    for (const DeadLink& d : dead) {
+        const NodeId nbr = t.neighbor(d.node, d.port);
+        EXPECT_FALSE(fm.linkOk(d.node, d.port));
+        EXPECT_FALSE(fm.linkOk(nbr, oppositePort(d.port)));
+        EXPECT_EQ(d.kind, DeadLinkKind::Bidirectional);
     }
+}
+
+TEST(FaultModel, KillLinkKillsBothDirections)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(20));
+    const PortId p = makePort(1, Direction::Plus);
+    fm.killLink(3, p);
+    EXPECT_FALSE(fm.linkOk(3, p));
+    EXPECT_FALSE(fm.linkOk(t.neighbor(3, p), oppositePort(p)));
+    const auto dead = fm.deadLinks();
+    ASSERT_EQ(dead.size(), 2u);
+    EXPECT_EQ(dead[0].kind, DeadLinkKind::Bidirectional);
+    EXPECT_EQ(dead[1].kind, DeadLinkKind::Bidirectional);
+}
+
+TEST(FaultModel, DeadLinksReportsDirectedKind)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(21));
+    const PortId p = makePort(0, Direction::Plus);
+    fm.killDirectedLink(5, p);
+    const auto dead = fm.deadLinks();
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].node, 5u);
+    EXPECT_EQ(dead[0].port, p);
+    EXPECT_EQ(dead[0].kind, DeadLinkKind::Directed);
+}
+
+TEST(FaultModel, ReviveLinkRestoresBothDirections)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.0, Rng(22));
+    const PortId p = makePort(0, Direction::Plus);
+    fm.killLink(7, p);
+    EXPECT_FALSE(fm.linkOk(7, p));
+    fm.reviveLink(7, p);
+    EXPECT_TRUE(fm.linkOk(7, p));
+    EXPECT_TRUE(fm.linkOk(t.neighbor(7, p), oppositePort(p)));
+    EXPECT_EQ(fm.deadLinks().size(), 0u);
+}
+
+TEST(FaultModel, AllowPartialReturnsPlacedCount)
+{
+    TorusTopology t(2, 1);  // 2-node ring: nothing killable at floor 2.
+    FaultModel fm(t, 0.0, Rng(23));
+    EXPECT_EQ(fm.injectPermanentFaults(2, 2, true), 0u);
+    EXPECT_EQ(fm.deadLinks().size(), 0u);
+}
+
+TEST(FaultModel, BurstRateOverridesBaseUntilCleared)
+{
+    TorusTopology t(4, 2);
+    FaultModel fm(t, 0.001, Rng(24));
+    EXPECT_DOUBLE_EQ(fm.effectiveTransientRate(), 0.001);
+    fm.setBurstRate(0.5);
+    EXPECT_DOUBLE_EQ(fm.effectiveTransientRate(), 0.5);
+    fm.clearBurstRate();
+    EXPECT_DOUBLE_EQ(fm.effectiveTransientRate(), 0.001);
 }
 
 TEST(FaultModel, DegreeFloorIsRespected)

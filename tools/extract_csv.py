@@ -24,12 +24,12 @@ def split_benches(text):
         yield parts[i].strip(), parts[i + 1]
 
 
-def csv_blocks(body):
-    """Yield consecutive CSV line blocks following 'csv:' markers."""
+def csv_blocks(body, marker="csv:"):
+    """Yield consecutive CSV line blocks following `marker` lines."""
     lines = body.splitlines()
     i = 0
     while i < len(lines):
-        if lines[i].strip() == "csv:":
+        if lines[i].strip() == marker:
             block = []
             i += 1
             while i < len(lines) and "," in lines[i]:
@@ -55,6 +55,13 @@ def main():
         safe = re.sub(r"[^A-Za-z0-9_.-]", "_", bench)
         for n, block in enumerate(csv_blocks(body)):
             path = os.path.join(outdir, f"{safe}__{n:02d}.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(block)
+            written += 1
+        # Fault campaigns also emit one row per trial after a
+        # `campaign-trials:` marker; keep those in their own file.
+        for n, block in enumerate(csv_blocks(body, "campaign-trials:")):
+            path = os.path.join(outdir, f"{safe}__trials{n:02d}.csv")
             with open(path, "w", encoding="utf-8") as out:
                 out.write(block)
             written += 1
