@@ -25,21 +25,32 @@ main(int argc, char** argv)
     Table t("Ablation: CR buffer depth (2 VCs, 16-flit messages)");
     t.setHeader({"depth", "lat@0.15", "lat@0.30", "pad_overhead",
                  "kills/msg@0.30"});
-    for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    const std::vector<std::uint32_t> depths = {1, 2, 4, 8, 16};
+    std::vector<SimConfig> points;
+    points.reserve(2 * depths.size());
+    for (std::uint32_t depth : depths) {
         SimConfig lo = base;
         lo.bufferDepth = depth;
         lo.injectionRate = 0.15;
-        const RunResult rlo = runExperiment(lo);
+        points.push_back(lo);
         SimConfig hi = lo;
         hi.injectionRate = 0.30;
-        const RunResult rhi = runExperiment(hi);
-        t.addRow({Table::cell(std::uint64_t{depth}), latencyCell(rlo),
-                  latencyCell(rhi), Table::cell(rhi.padOverhead, 3),
+        points.push_back(hi);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t di = 0; di < depths.size(); ++di) {
+        const RunResult& rlo = results[2 * di];
+        const RunResult& rhi = results[2 * di + 1];
+        t.addRow({Table::cell(std::uint64_t{depths[di]}),
+                  latencyCell(rlo), latencyCell(rhi),
+                  Table::cell(rhi.padOverhead, 3),
                   Table::cell(rhi.killsPerMessage, 3)});
     }
     emit(t);
     std::printf("expected shape: monotonically worse with depth — the "
                 "opposite of DOR,\nwhere FIFO depth helps. This is why "
                 "Fig. 14 fixes CR at 2-flit buffers.\n");
+    timingFooter();
     return 0;
 }

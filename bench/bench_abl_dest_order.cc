@@ -28,16 +28,26 @@ main(int argc, char** argv)
     Table t("Ablation: per-destination order gate (CR, 4 VCs)");
     t.setHeader({"load", "gated_lat", "gated_viol", "free_lat",
                  "free_viol", "free_thr_gain%"});
-    for (double load : {0.15, 0.30, 0.45}) {
+    const std::vector<double> loads = {0.15, 0.30, 0.45};
+    std::vector<SimConfig> points;
+    points.reserve(2 * loads.size());
+    for (double load : loads) {
         SimConfig gated = base;
         gated.injectionRate = load;
         gated.enforceDestOrder = true;
-        const RunResult rg = runExperiment(gated);
+        points.push_back(gated);
 
         SimConfig free_cfg = base;
         free_cfg.injectionRate = load;
         free_cfg.enforceDestOrder = false;
-        const RunResult rf = runExperiment(free_cfg);
+        points.push_back(free_cfg);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        const double load = loads[li];
+        const RunResult& rg = results[2 * li];
+        const RunResult& rf = results[2 * li + 1];
 
         const double gain = rg.acceptedThroughput > 0
             ? 100.0 * (rf.acceptedThroughput - rg.acceptedThroughput) /
@@ -52,5 +62,6 @@ main(int argc, char** argv)
     std::printf("expected shape: gated runs report zero violations; "
                 "ungated runs report\nsome, for little or no "
                 "throughput gain.\n");
+    timingFooter();
     return 0;
 }

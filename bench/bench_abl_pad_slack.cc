@@ -25,12 +25,20 @@ main(int argc, char** argv)
     Table t("Ablation: pad slack (CR, load 0.25)");
     t.setHeader({"slack", "avg_lat", "pad_overhead", "kills/msg",
                  "drained"});
-    for (std::uint32_t slack : {0u, 2u, 8u, 16u, 32u}) {
+    const std::vector<std::uint32_t> slacks = {0, 2, 8, 16, 32};
+    std::vector<SimConfig> points;
+    points.reserve(slacks.size());
+    for (std::uint32_t slack : slacks) {
         SimConfig cfg = base;
         cfg.padSlack = slack;
-        const RunResult r = runExperiment(cfg);
-        t.addRow({Table::cell(std::uint64_t{slack}), latencyCell(r),
-                  Table::cell(r.padOverhead, 3),
+        points.push_back(cfg);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t si = 0; si < slacks.size(); ++si) {
+        const RunResult& r = results[si];
+        t.addRow({Table::cell(std::uint64_t{slacks[si]}),
+                  latencyCell(r), Table::cell(r.padOverhead, 3),
                   Table::cell(r.killsPerMessage, 3),
                   r.drained ? "yes" : "NO"});
     }
@@ -38,5 +46,6 @@ main(int argc, char** argv)
     std::printf("expected shape: mild monotone cost with slack; "
                 "everything drains even at 0\n(the capacity model is "
                 "exact), so 2 is purely defensive.\n");
+    timingFooter();
     return 0;
 }

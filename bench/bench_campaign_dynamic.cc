@@ -54,6 +54,8 @@ main(int argc, char** argv)
 
     std::vector<TrialOutcome> trials;
     const CampaignSummary s = runCampaign(cc, &trials);
+    record(s);
+    suiteTotals().jobs = resolveJobs(cc.base.jobs);
 
     Table t("Dynamic-fault campaign (" +
             std::to_string(cc.trials) + " trials, load 0.15)");
@@ -98,5 +100,6 @@ main(int argc, char** argv)
     std::printf("expected shape: accounted == trials, zero deadlocks, "
                 "zero pending, zero dups;\ndelivery rate ~1.0 with a "
                 "bounded post-fault latency transient.\n");
+    timingFooter();
     return s.accountedTrials == s.trials ? 0 : 1;
 }

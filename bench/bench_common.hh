@@ -11,12 +11,15 @@
 #ifndef CRNET_BENCH_BENCH_COMMON_HH
 #define CRNET_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "src/core/experiment.hh"
+#include "src/fault/campaign.hh"
 #include "src/sim/config.hh"
+#include "src/sim/parallel.hh"
 #include "src/sim/table.hh"
 
 namespace crnet::bench {
@@ -69,6 +72,105 @@ emit(const Table& table)
     std::cout << "\ncsv:\n";
     table.printCsv(std::cout);
     std::cout << "\n";
+}
+
+/**
+ * Cumulative engine-work totals behind the bench timing footer.
+ * Every experiment a bench runs should flow through sweep()/runOne()
+ * or be record()ed, so the footer reflects the whole process.
+ */
+struct SuiteTotals
+{
+    std::size_t runs = 0;          //!< Simulations executed.
+    double wallSeconds = 0.0;      //!< Engine wall-clock (batch spans).
+    std::uint64_t flitEvents = 0;  //!< Total data-flit events.
+    unsigned jobs = 1;             //!< Worker threads last used.
+};
+
+inline SuiteTotals&
+suiteTotals()
+{
+    static SuiteTotals totals;
+    return totals;
+}
+
+/** Fold a finished batch into the process totals. */
+inline void
+record(std::size_t runs, double wall_seconds,
+       std::uint64_t flit_events)
+{
+    SuiteTotals& t = suiteTotals();
+    t.runs += runs;
+    t.wallSeconds += wall_seconds;
+    t.flitEvents += flit_events;
+}
+
+inline void
+record(const ReplicatedResult& r)
+{
+    record(r.replications, r.wallSeconds, r.flitEvents);
+}
+
+inline void
+record(const SaturationResult& r)
+{
+    record(r.probes, r.wallSeconds, r.flitEvents);
+}
+
+inline void
+record(const CampaignSummary& s)
+{
+    record(s.trials, s.wallSeconds, s.flitEvents);
+}
+
+/**
+ * Run a batch of independent configuration points through the
+ * parallel engine (`jobs=` override / CRNET_JOBS; sequential by
+ * default), timing the batch for the footer. Results come back in
+ * input order, bit-identical to a sequential run.
+ */
+inline std::vector<RunResult>
+sweep(const std::vector<SimConfig>& points)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> out = runMany(points);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    std::uint64_t flit_events = 0;
+    for (const RunResult& r : out)
+        flit_events += r.flitEvents;
+    suiteTotals().jobs =
+        resolveJobs(points.empty() ? 0 : points.front().jobs);
+    record(points.size(), wall, flit_events);
+    return out;
+}
+
+/** Run one point through sweep() so it counts toward the footer. */
+inline RunResult
+runOne(const SimConfig& cfg)
+{
+    return sweep({cfg}).front();
+}
+
+/**
+ * Machine-parseable wall-clock footer (one line, no commas — the
+ * `csv:` block scanner stops at it). tools/bench_report.py collects
+ * these into BENCH_pr3.json to track the perf trajectory.
+ */
+inline void
+timingFooter()
+{
+    const SuiteTotals& t = suiteTotals();
+    const double wall = t.wallSeconds > 0.0 ? t.wallSeconds : 1e-9;
+    std::printf("timing: runs=%zu wall_s=%.3f sims_per_s=%.2f "
+                "flit_events=%llu flit_events_per_s=%.3e jobs=%u "
+                "cores=%u\n",
+                t.runs, t.wallSeconds,
+                static_cast<double>(t.runs) / wall,
+                static_cast<unsigned long long>(t.flitEvents),
+                static_cast<double>(t.flitEvents) / wall, t.jobs,
+                hardwareJobs());
 }
 
 } // namespace crnet::bench

@@ -32,18 +32,30 @@ main(int argc, char** argv)
         header.push_back("load_" + Table::cell(load, 2));
     t.setHeader(header);
 
+    // All (timeout, load) cells as one parallel batch, row-major.
+    std::vector<SimConfig> points;
+    points.reserve(timeouts.size() * loads.size());
     for (Cycle to : timeouts) {
-        std::vector<std::string> row = {Table::cell(std::uint64_t{to})};
         for (double load : loads) {
             SimConfig cfg = base;
             cfg.timeout = to;
             cfg.injectionRate = load;
-            const RunResult r = runExperiment(cfg);
+            points.push_back(cfg);
+        }
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t ti = 0; ti < timeouts.size(); ++ti) {
+        std::vector<std::string> row = {
+            Table::cell(std::uint64_t{timeouts[ti]})};
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const RunResult& r = results[ti * loads.size() + li];
             row.push_back(latencyCell(r) + " (" +
                           Table::cell(r.killsPerMessage, 2) + ")");
         }
         t.addRow(row);
     }
     emit(t);
+    timingFooter();
     return 0;
 }

@@ -35,17 +35,16 @@ main(int argc, char** argv)
         header.push_back("DOR16_thr");
         t.setHeader(header);
 
+        // Row-major batch: per load, one CR point then each DOR depth.
+        const std::size_t cols = 1 + dor_depths.size();
+        std::vector<SimConfig> points;
+        points.reserve(loads.size() * cols);
         for (double load : loads) {
-            std::vector<std::string> row = {Table::cell(load, 2)};
-
             SimConfig cr = base;
             cr.injectionRate = load;
             cr.messageLength = msg_len;
             cr.timeout = msg_len / cr.numVcs;
-            const RunResult rcr = runExperiment(cr);
-            row.push_back(latencyCell(rcr));
-
-            RunResult rdor16{};
+            points.push_back(cr);
             for (auto depth : dor_depths) {
                 SimConfig dor = base;
                 dor.injectionRate = load;
@@ -53,11 +52,21 @@ main(int argc, char** argv)
                 dor.routing = RoutingKind::DimensionOrder;
                 dor.protocol = ProtocolKind::None;
                 dor.bufferDepth = depth;
-                const RunResult r = runExperiment(dor);
-                if (depth == 16)
-                    rdor16 = r;
-                row.push_back(latencyCell(r));
+                points.push_back(dor);
             }
+        }
+        const std::vector<RunResult> results = sweep(points);
+
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            std::vector<std::string> row = {
+                Table::cell(loads[li], 2)};
+            const RunResult& rcr = results[li * cols];
+            row.push_back(latencyCell(rcr));
+            for (std::size_t di = 0; di < dor_depths.size(); ++di)
+                row.push_back(
+                    latencyCell(results[li * cols + 1 + di]));
+            const RunResult& rdor16 =
+                results[li * cols + dor_depths.size()];
             row.push_back(Table::cell(rcr.acceptedThroughput, 3));
             row.push_back(Table::cell(rdor16.acceptedThroughput, 3));
             t.addRow(row);
@@ -67,5 +76,6 @@ main(int argc, char** argv)
     std::printf("expected shape: CR with 2-flit buffers ~ DOR with "
                 "16-flit FIFOs, and CR\nsaturates at higher load than "
                 "every DOR depth.\n");
+    timingFooter();
     return 0;
 }

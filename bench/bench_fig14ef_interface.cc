@@ -33,15 +33,17 @@ main(int argc, char** argv)
     }
     t.setHeader(header);
 
+    // Row-major batch: per load, (CR, DOR) for each channel width.
+    const std::size_t cols = 2 * channels.size();
+    std::vector<SimConfig> points;
+    points.reserve(loads.size() * cols);
     for (double load : loads) {
-        std::vector<std::string> row = {Table::cell(load, 2)};
         for (auto ch : channels) {
             SimConfig cr = base;
             cr.injectionRate = load;
             cr.injectionChannels = ch;
             cr.ejectionChannels = ch;
-            const RunResult rcr = runExperiment(cr);
-            row.push_back(Table::cell(rcr.acceptedThroughput, 3));
+            points.push_back(cr);
 
             SimConfig dor = base;
             dor.injectionRate = load;
@@ -50,8 +52,19 @@ main(int argc, char** argv)
             dor.routing = RoutingKind::DimensionOrder;
             dor.protocol = ProtocolKind::None;
             dor.bufferDepth = 2;
-            const RunResult rd = runExperiment(dor);
-            row.push_back(Table::cell(rd.acceptedThroughput, 3));
+            points.push_back(dor);
+        }
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        std::vector<std::string> row = {Table::cell(loads[li], 2)};
+        for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+            row.push_back(Table::cell(
+                results[li * cols + 2 * ci].acceptedThroughput, 3));
+            row.push_back(Table::cell(
+                results[li * cols + 2 * ci + 1].acceptedThroughput,
+                3));
         }
         t.addRow(row);
     }
@@ -60,21 +73,28 @@ main(int argc, char** argv)
     // Companion latency table at a fixed sub-saturation load.
     Table lt("Fig. 14(e,f) companion: avg latency at load 0.4");
     lt.setHeader({"channels", "CR", "DOR"});
+    std::vector<SimConfig> companion;
     for (auto ch : channels) {
         SimConfig cr = base;
         cr.injectionRate = 0.4;
         cr.injectionChannels = ch;
         cr.ejectionChannels = ch;
+        companion.push_back(cr);
         SimConfig dor = cr;
         dor.routing = RoutingKind::DimensionOrder;
         dor.protocol = ProtocolKind::None;
-        lt.addRow({Table::cell(std::uint64_t{ch}),
-                   latencyCell(runExperiment(cr)),
-                   latencyCell(runExperiment(dor))});
+        companion.push_back(dor);
+    }
+    const std::vector<RunResult> cres = sweep(companion);
+    for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+        lt.addRow({Table::cell(std::uint64_t{channels[ci]}),
+                   latencyCell(cres[2 * ci]),
+                   latencyCell(cres[2 * ci + 1])});
     }
     emit(lt);
     std::printf("expected shape: CR peak throughput rises with "
                 "interface channels and\nstays above DOR at every "
                 "width.\n");
+    timingFooter();
     return 0;
 }

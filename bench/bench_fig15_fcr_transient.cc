@@ -32,15 +32,25 @@ main(int argc, char** argv)
     t.setHeader({"fault_rate", "FCR_lat", "FCR_thr", "attempts",
                  "refusals", "FCR_corrupt_deliv", "CR_corrupt_deliv"});
 
+    // Row-major batch: (FCR, CR) per fault rate.
+    std::vector<SimConfig> points;
+    points.reserve(2 * rates.size());
     for (double rate : rates) {
         SimConfig fcr = base;
         fcr.transientFaultRate = rate;
-        const RunResult rf = runExperiment(fcr);
+        points.push_back(fcr);
 
         SimConfig cr = base;
         cr.protocol = ProtocolKind::Cr;
         cr.transientFaultRate = rate;
-        const RunResult rc = runExperiment(cr);
+        points.push_back(cr);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        const double rate = rates[ri];
+        const RunResult& rf = results[2 * ri];
+        const RunResult& rc = results[2 * ri + 1];
 
         t.addRow({Table::cell(rate, 5), latencyCell(rf),
                   Table::cell(rf.acceptedThroughput, 3),
@@ -53,5 +63,6 @@ main(int argc, char** argv)
     std::printf("expected shape: FCR corrupted deliveries = 0 at every "
                 "rate; latency grows\ngracefully; plain CR lets "
                 "corrupted messages through.\n");
+    timingFooter();
     return 0;
 }

@@ -30,28 +30,39 @@ main(int argc, char** argv)
     t.setHeader({"chan_lat", "depth", "CR_lat@0.15", "DOR_lat@0.15",
                  "CR_lat@0.30", "DOR_lat@0.30", "CR_pad"});
 
-    for (std::uint32_t lat : {1u, 2u, 4u, 8u}) {
+    const std::vector<std::uint32_t> lats = {1, 2, 4, 8};
+    const std::vector<double> loads = {0.15, 0.30};
+    std::vector<SimConfig> points;
+    points.reserve(lats.size() * loads.size() * 2);
+    for (std::uint32_t lat : lats) {
         const std::uint32_t depth = 2 * lat + 1;
-        std::vector<std::string> row = {
-            Table::cell(std::uint64_t{lat}),
-            Table::cell(std::uint64_t{depth})};
-        double pad = 0.0;
-        for (double load : {0.15, 0.30}) {
+        for (double load : loads) {
             SimConfig cr = base;
             cr.channelLatency = lat;
             cr.bufferDepth = depth;
             cr.injectionRate = load;
-            const RunResult rc = runExperiment(cr);
-            row.push_back(latencyCell(rc));
-            pad = rc.padOverhead;
+            points.push_back(cr);
 
-            SimConfig dor = base;
-            dor.channelLatency = lat;
-            dor.bufferDepth = depth;
-            dor.injectionRate = load;
+            SimConfig dor = cr;
             dor.routing = RoutingKind::DimensionOrder;
             dor.protocol = ProtocolKind::None;
-            row.push_back(latencyCell(runExperiment(dor)));
+            points.push_back(dor);
+        }
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    const std::size_t cols = 2 * loads.size();  // (CR, DOR) per load.
+    for (std::size_t ti = 0; ti < lats.size(); ++ti) {
+        std::vector<std::string> row = {
+            Table::cell(std::uint64_t{lats[ti]}),
+            Table::cell(std::uint64_t{2 * lats[ti] + 1})};
+        double pad = 0.0;
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const RunResult& rc = results[ti * cols + 2 * li];
+            const RunResult& rd = results[ti * cols + 2 * li + 1];
+            row.push_back(latencyCell(rc));
+            row.push_back(latencyCell(rd));
+            pad = rc.padOverhead;
         }
         row.push_back(Table::cell(pad, 3));
         t.addRow(row);
@@ -60,5 +71,6 @@ main(int argc, char** argv)
     std::printf("expected shape: CR's pad fraction climbs with wire "
                 "depth and its margin\nover DOR narrows — the paper's "
                 "own 'deep networks' caveat, quantified.\n");
+    timingFooter();
     return 0;
 }

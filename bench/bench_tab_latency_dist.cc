@@ -24,11 +24,20 @@ main(int argc, char** argv)
     Table t("Latency distribution (CR, uniform, 16-flit messages)");
     t.setHeader({"load", "mean", "stddev", "p50", "p95", "p99", "max",
                  "kills/msg", "max_attempts_seen"});
-    for (double load : {0.10, 0.25, 0.40, 0.50}) {
+    const std::vector<double> uni_loads = {0.10, 0.25, 0.40, 0.50};
+    std::vector<SimConfig> points;
+    points.reserve(uni_loads.size());
+    for (double load : uni_loads) {
         SimConfig cfg = base;
         cfg.injectionRate = load;
-        const RunResult r = runExperiment(cfg);
-        t.addRow({Table::cell(load, 2), Table::cell(r.avgLatency, 1),
+        points.push_back(cfg);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < uni_loads.size(); ++li) {
+        const RunResult& r = results[li];
+        t.addRow({Table::cell(uni_loads[li], 2),
+                  Table::cell(r.avgLatency, 1),
                   Table::cell(r.latencyStddev, 1),
                   Table::cell(r.p50Latency, 0),
                   Table::cell(r.p95Latency, 0),
@@ -42,15 +51,24 @@ main(int argc, char** argv)
     Table b("Bimodal traffic: 90% 8-flit / 10% 64-flit messages");
     b.setHeader({"load", "mean", "stddev", "p95", "p99",
                  "kills/msg"});
-    for (double load : {0.10, 0.25, 0.40}) {
+    const std::vector<double> bi_loads = {0.10, 0.25, 0.40};
+    std::vector<SimConfig> bi_points;
+    bi_points.reserve(bi_loads.size());
+    for (double load : bi_loads) {
         SimConfig cfg = base;
         cfg.injectionRate = load;
         cfg.messageLength = 8;
         cfg.messageLengthB = 64;
         cfg.bimodalFracB = 0.10;
         cfg.timeout = 16;
-        const RunResult r = runExperiment(cfg);
-        b.addRow({Table::cell(load, 2), Table::cell(r.avgLatency, 1),
+        bi_points.push_back(cfg);
+    }
+    const std::vector<RunResult> bi_results = sweep(bi_points);
+
+    for (std::size_t li = 0; li < bi_loads.size(); ++li) {
+        const RunResult& r = bi_results[li];
+        b.addRow({Table::cell(bi_loads[li], 2),
+                  Table::cell(r.avgLatency, 1),
                   Table::cell(r.latencyStddev, 1),
                   Table::cell(r.p95Latency, 0),
                   Table::cell(r.p99Latency, 0),
@@ -60,5 +78,6 @@ main(int argc, char** argv)
     std::printf("expected shape: tails (p99, max) grow faster than the "
                 "mean as kills appear;\nbimodal mixes lengthen the "
                 "short messages' tail.\n");
+    timingFooter();
     return 0;
 }

@@ -52,6 +52,9 @@ main(int argc, char** argv)
         {"CR_1vc", RoutingKind::MinimalAdaptive, ProtocolKind::Cr, 1},
     };
 
+    const std::size_t n_schemes = std::size(schemes);
+    const std::vector<double> loads = {0.05, 0.10, 0.15,
+                                       0.20, 0.25, 0.30};
     for (TrafficPattern pattern :
          {TrafficPattern::Uniform, TrafficPattern::Transpose}) {
         Table t("Mesh adaptive panorama: avg latency, " +
@@ -61,8 +64,9 @@ main(int argc, char** argv)
             header.push_back(s.name);
         t.setHeader(header);
 
-        for (double load : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
-            std::vector<std::string> row = {Table::cell(load, 2)};
+        std::vector<SimConfig> points;
+        points.reserve(loads.size() * n_schemes);
+        for (double load : loads) {
             for (const Scheme& s : schemes) {
                 SimConfig cfg = base;
                 cfg.pattern = pattern;
@@ -70,8 +74,16 @@ main(int argc, char** argv)
                 cfg.routing = s.routing;
                 cfg.protocol = s.protocol;
                 cfg.numVcs = s.vcs;
-                row.push_back(latencyCell(runExperiment(cfg)));
+                points.push_back(cfg);
             }
+        }
+        const std::vector<RunResult> results = sweep(points);
+
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            std::vector<std::string> row = {Table::cell(loads[li], 2)};
+            for (std::size_t si = 0; si < n_schemes; ++si)
+                row.push_back(
+                    latencyCell(results[li * n_schemes + si]));
             t.addRow(row);
         }
         emit(t);
@@ -80,5 +92,6 @@ main(int argc, char** argv)
                 "CR trails on meshes\n(padding over long mesh "
                 "diameters) — CR's home turf is the torus, where\n"
                 "no VC-free alternative exists. See EXPERIMENTS.md.\n");
+    timingFooter();
     return 0;
 }

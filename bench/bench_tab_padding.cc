@@ -52,23 +52,34 @@ main(int argc, char** argv)
 
     Table m("Measured mean pad fraction, uniform traffic at load 0.1");
     m.setHeader({"msg_len", "CR_1vc", "CR_4vc", "FCR_1vc"});
-    for (std::uint32_t len : {8u, 16u, 32u, 64u}) {
-        auto measured = [&](ProtocolKind p, std::uint32_t vcs) {
+    const std::vector<std::uint32_t> lens = {8, 16, 32, 64};
+    std::vector<SimConfig> points;
+    points.reserve(3 * lens.size());
+    for (std::uint32_t len : lens) {
+        auto mkPoint = [&](ProtocolKind p, std::uint32_t vcs) {
             SimConfig cfg = base;
             cfg.messageLength = len;
             cfg.protocol = p;
             cfg.numVcs = vcs;
             cfg.timeout = std::max<Cycle>(4, len / vcs);
-            return Table::cell(runExperiment(cfg).padOverhead, 3);
+            return cfg;
         };
-        m.addRow({Table::cell(std::uint64_t{len}),
-                  measured(ProtocolKind::Cr, 1),
-                  measured(ProtocolKind::Cr, 4),
-                  measured(ProtocolKind::Fcr, 1)});
+        points.push_back(mkPoint(ProtocolKind::Cr, 1));
+        points.push_back(mkPoint(ProtocolKind::Cr, 4));
+        points.push_back(mkPoint(ProtocolKind::Fcr, 1));
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < lens.size(); ++li) {
+        m.addRow({Table::cell(std::uint64_t{lens[li]}),
+                  Table::cell(results[3 * li].padOverhead, 3),
+                  Table::cell(results[3 * li + 1].padOverhead, 3),
+                  Table::cell(results[3 * li + 2].padOverhead, 3)});
     }
     emit(m);
     std::printf("expected shape: overhead falls with message length, "
                 "rises with network size\nand buffer depth, is equal "
                 "at 1 and 4 VCs, and FCR > CR throughout.\n");
+    timingFooter();
     return 0;
 }

@@ -30,26 +30,32 @@ main(int argc, char** argv)
     base.drainCycles = 40000;
     base.applyArgs(argc, argv);
 
+    const std::vector<double> loads = {0.05, 0.10, 0.15, 0.20};
     for (TrafficPattern pattern :
          {TrafficPattern::Uniform, TrafficPattern::Tornado}) {
         Table t("Paper scale (16-ary 2-cube): CR vs DOR, " +
                 toString(pattern) + " traffic");
         t.setHeader({"load", "CR_lat", "DOR_lat", "CR_thr",
                      "DOR_thr", "CR_kills/msg"});
-        for (double load : {0.05, 0.10, 0.15, 0.20}) {
+        std::vector<SimConfig> points;
+        points.reserve(2 * loads.size());
+        for (double load : loads) {
             SimConfig cr = base;
             cr.pattern = pattern;
             cr.injectionRate = load;
-            const RunResult rc = runExperiment(cr);
+            points.push_back(cr);
 
-            SimConfig dor = base;
-            dor.pattern = pattern;
-            dor.injectionRate = load;
+            SimConfig dor = cr;
             dor.routing = RoutingKind::DimensionOrder;
             dor.protocol = ProtocolKind::None;
-            const RunResult rd = runExperiment(dor);
+            points.push_back(dor);
+        }
+        const std::vector<RunResult> results = sweep(points);
 
-            t.addRow({Table::cell(load, 2), latencyCell(rc),
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const RunResult& rc = results[2 * li];
+            const RunResult& rd = results[2 * li + 1];
+            t.addRow({Table::cell(loads[li], 2), latencyCell(rc),
                       latencyCell(rd),
                       Table::cell(rc.acceptedThroughput, 3),
                       Table::cell(rd.acceptedThroughput, 3),
@@ -60,5 +66,6 @@ main(int argc, char** argv)
     std::printf("expected shape: identical orderings to the k=8 "
                 "suite, confirming the\ndownscaled default network "
                 "preserves the paper's qualitative results.\n");
+    timingFooter();
     return 0;
 }

@@ -33,17 +33,27 @@ main(int argc, char** argv)
     t.setHeader({"load", "duato_escapes", "escapes/msg", "cr_kills",
                  "kills/msg", "duato_lat", "cr_lat"});
 
-    for (double load : defaultLoads()) {
+    const auto loads = defaultLoads();
+    std::vector<SimConfig> points;
+    points.reserve(2 * loads.size());
+    for (double load : loads) {
         SimConfig duato = base;
         duato.injectionRate = load;
         duato.routing = RoutingKind::Duato;
         duato.protocol = ProtocolKind::None;
         duato.numVcs = 3;  // 2 escape (dateline) + 1 adaptive.
-        const RunResult rd = runExperiment(duato);
+        points.push_back(duato);
 
         SimConfig cr = base;
         cr.injectionRate = load;
-        const RunResult rc = runExperiment(cr);
+        points.push_back(cr);
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        const double load = loads[li];
+        const RunResult& rd = results[2 * li];
+        const RunResult& rc = results[2 * li + 1];
 
         const double dmsgs =
             rd.deliveredMeasured ? static_cast<double>(
@@ -66,5 +76,6 @@ main(int argc, char** argv)
     std::printf("expected shape: escapes/msg and kills/msg both stay "
                 "near zero until the\nnetwork approaches saturation, "
                 "then climb steeply.\n");
+    timingFooter();
     return 0;
 }

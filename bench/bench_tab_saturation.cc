@@ -53,13 +53,20 @@ main(int argc, char** argv)
             SimConfig fast = cfg;
             fast.measureCycles = 2500;
             fast.drainCycles = 20000;
-            const double sat =
-                findSaturationLoad(fast, 0.05, 0.95, 0.02, 1500.0);
+            const SaturationResult sat =
+                findSaturation(fast, 0.05, 0.95, 0.02, 1500.0);
+            record(sat);
+            // belowRange: even the lower probe failed health — the
+            // design saturates before load 0.05.
+            const std::string sat_cell = sat.belowRange
+                ? "<" + Table::cell(sat.load, 2)
+                : Table::cell(sat.load, 2);
 
             SimConfig deep = cfg;
             deep.injectionRate = 0.45;
             const ReplicatedResult rep = runReplicated(deep, 5);
-            t.addRow({row.name, Table::cell(sat, 2),
+            record(rep);
+            t.addRow({row.name, sat_cell,
                       Table::cell(rep.meanThroughput, 3),
                       Table::cell(rep.throughputCi95, 3),
                       Table::cell(rep.meanLatency, 0),
@@ -71,5 +78,7 @@ main(int argc, char** argv)
     std::printf("expected shape: CR saturation load > Duato > DOR; "
                 "intervals small enough\nthat the ordering is not "
                 "noise.\n");
+    suiteTotals().jobs = resolveJobs(base.jobs);
+    timingFooter();
     return 0;
 }

@@ -31,16 +31,25 @@ main(int argc, char** argv)
                  "kills ", "path_wide_lat", "kills  ",
                  "drop_at_block_lat", "kills   "});
 
+    const std::vector<TimeoutScheme> schemes = {
+        TimeoutScheme::SourceStall, TimeoutScheme::SourceImin,
+        TimeoutScheme::PathWide, TimeoutScheme::DropAtBlock};
+    std::vector<SimConfig> points;
+    points.reserve(loads.size() * schemes.size());
     for (double load : loads) {
-        std::vector<std::string> row = {Table::cell(load, 2)};
-        for (auto scheme : {TimeoutScheme::SourceStall,
-                            TimeoutScheme::SourceImin,
-                            TimeoutScheme::PathWide,
-                            TimeoutScheme::DropAtBlock}) {
+        for (auto scheme : schemes) {
             SimConfig cfg = base;
             cfg.injectionRate = load;
             cfg.timeoutScheme = scheme;
-            const RunResult r = runExperiment(cfg);
+            points.push_back(cfg);
+        }
+    }
+    const std::vector<RunResult> results = sweep(points);
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+        std::vector<std::string> row = {Table::cell(loads[li], 2)};
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const RunResult& r = results[li * schemes.size() + si];
             row.push_back(latencyCell(r));
             row.push_back(Table::cell(r.killsPerMessage, 3));
         }
@@ -50,5 +59,6 @@ main(int argc, char** argv)
     std::printf("expected shape: path-wide kills/msg far above the "
                 "source-based schemes,\nwith worse latency; the two "
                 "source schemes track each other.\n");
+    timingFooter();
     return 0;
 }

@@ -1,10 +1,29 @@
 #include "src/core/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/sim/log.hh"
+#include "src/sim/parallel.hh"
 
 namespace crnet {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/** Drain-phase step size; the last step is clamped to the budget. */
+constexpr Cycle kDrainQuantum = 256;
+
+} // namespace
 
 RunResult
 summarize(const Network& net, bool drained, Cycle cycles)
@@ -28,7 +47,7 @@ summarize(const Network& net, bool drained, Cycle cycles)
     r.pathWideKills = s.router.pathWideKills.value();
     r.killsPerMessage = r.deliveredMeasured
         ? static_cast<double>(r.totalKills) /
-              static_cast<double>(s.messagesDelivered.value() + 1)
+              static_cast<double>(r.deliveredMeasured)
         : 0.0;
     r.padOverhead = s.padOverhead.mean();
     r.escapeAllocations = s.router.escapeAllocations.value();
@@ -43,6 +62,9 @@ summarize(const Network& net, bool drained, Cycle cycles)
     r.deadlocked = net.deadlocked();
     r.drained = drained;
     r.cyclesRun = cycles;
+    r.flitEvents = s.flitsInjected.value() +
+                   s.router.flitsForwarded.value() +
+                   s.flitsConsumed.value();
     if (cfg.measureCycles > 0) {
         r.acceptedThroughput =
             static_cast<double>(s.measuredPayloadFlits.value()) /
@@ -55,6 +77,7 @@ summarize(const Network& net, bool drained, Cycle cycles)
 RunResult
 runExperiment(const SimConfig& cfg)
 {
+    const auto start = SteadyClock::now();
     Network net(cfg);
 
     // Warmup: traffic flows, nothing is tagged.
@@ -67,26 +90,41 @@ runExperiment(const SimConfig& cfg)
     net.setMeasuring(false);
 
     // Drain: keep offered load applied; wait for tagged messages.
+    // The final step is clamped so cyclesRun honors cfg.drainCycles
+    // exactly instead of overrunning by up to a whole quantum.
     bool drained = net.measuredDrained();
     Cycle spent = 0;
     while (!drained && spent < cfg.drainCycles && !net.deadlocked()) {
-        net.run(256);
-        spent += 256;
+        const Cycle step =
+            std::min(kDrainQuantum, cfg.drainCycles - spent);
+        net.run(step);
+        spent += step;
         drained = net.measuredDrained();
     }
-    return summarize(net, drained, net.now());
+    RunResult r = summarize(net, drained, net.now());
+    r.wallSeconds = secondsSince(start);
+    return r;
+}
+
+std::vector<RunResult>
+runMany(const std::vector<SimConfig>& points)
+{
+    std::vector<RunResult> out(points.size());
+    const unsigned jobs =
+        resolveJobs(points.empty() ? 0 : points.front().jobs);
+    parallelFor(points.size(), jobs, [&](std::size_t i) {
+        out[i] = runExperiment(points[i]);
+    });
+    return out;
 }
 
 std::vector<RunResult>
 sweepLoads(SimConfig cfg, const std::vector<double>& loads)
 {
-    std::vector<RunResult> out;
-    out.reserve(loads.size());
-    for (double load : loads) {
-        cfg.injectionRate = load;
-        out.push_back(runExperiment(cfg));
-    }
-    return out;
+    std::vector<SimConfig> points(loads.size(), cfg);
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        points[i].injectionRate = loads[i];
+    return runMany(points);
 }
 
 ReplicatedResult
@@ -94,41 +132,59 @@ runReplicated(SimConfig cfg, std::uint32_t replications)
 {
     if (replications == 0)
         fatal("runReplicated needs at least one replication");
+    const auto start = SteadyClock::now();
+    std::vector<SimConfig> points(replications, cfg);
+    for (std::uint32_t i = 0; i < replications; ++i)
+        points[i].seed = cfg.seed + i;
+    const std::vector<RunResult> runs = runMany(points);
+
     Accumulator lat, thr, kills;
     ReplicatedResult out;
     out.replications = replications;
-    for (std::uint32_t i = 0; i < replications; ++i) {
-        cfg.seed = cfg.seed + (i == 0 ? 0 : 1);
-        const RunResult r = runExperiment(cfg);
+    for (const RunResult& r : runs) {
         lat.add(r.avgLatency);
         thr.add(r.acceptedThroughput);
         kills.add(r.killsPerMessage);
         out.allDrained = out.allDrained && r.drained;
         out.anyDeadlock = out.anyDeadlock || r.deadlocked;
+        out.flitEvents += r.flitEvents;
     }
     const double root_n = std::sqrt(static_cast<double>(replications));
     out.meanLatency = lat.mean();
-    out.latencyCi95 = 1.96 * lat.stddev() / root_n;
     out.meanThroughput = thr.mean();
-    out.throughputCi95 = 1.96 * thr.stddev() / root_n;
     out.meanKillsPerMessage = kills.mean();
+    // A single replication has no spread to estimate: the interval is
+    // exactly 0, not a degenerate one-sample stddev.
+    if (replications > 1) {
+        out.latencyCi95 = 1.96 * lat.stddev() / root_n;
+        out.throughputCi95 = 1.96 * thr.stddev() / root_n;
+    }
+    out.wallSeconds = secondsSince(start);
     return out;
 }
 
-double
-findSaturationLoad(SimConfig cfg, double lo, double hi,
-                   double tolerance, double latency_cap)
+SaturationResult
+findSaturation(SimConfig cfg, double lo, double hi, double tolerance,
+               double latency_cap)
 {
     if (lo >= hi)
-        fatal("findSaturationLoad: lo must be < hi");
+        fatal("findSaturation: lo must be < hi");
+    const auto start = SteadyClock::now();
+    SaturationResult res;
     auto healthy = [&](double load) {
         cfg.injectionRate = load;
         const RunResult r = runExperiment(cfg);
+        ++res.probes;
+        res.flitEvents += r.flitEvents;
         return r.drained && !r.deadlocked &&
                r.avgLatency < latency_cap;
     };
-    if (!healthy(lo))
-        return lo;
+    if (!healthy(lo)) {
+        res.load = lo;
+        res.belowRange = true;
+        res.wallSeconds = secondsSince(start);
+        return res;
+    }
     while (hi - lo > tolerance) {
         const double mid = (lo + hi) / 2.0;
         if (healthy(mid))
@@ -136,7 +192,18 @@ findSaturationLoad(SimConfig cfg, double lo, double hi,
         else
             hi = mid;
     }
-    return lo;
+    res.load = lo;
+    res.wallSeconds = secondsSince(start);
+    return res;
+}
+
+double
+findSaturationLoad(SimConfig cfg, double lo, double hi,
+                   double tolerance, double latency_cap)
+{
+    const SaturationResult res =
+        findSaturation(std::move(cfg), lo, hi, tolerance, latency_cap);
+    return res.belowRange ? -1.0 : res.load;
 }
 
 } // namespace crnet

@@ -25,14 +25,51 @@ namespace crnet {
 /** Run one configuration to completion and summarize it. */
 RunResult runExperiment(const SimConfig& cfg);
 
-/** Run the same configuration at several offered loads. */
+/**
+ * Run a batch of independent configurations, fanned out across
+ * `points.front().jobs` worker threads (resolved via resolveJobs:
+ * explicit > CRNET_JOBS > 1). Results are returned in input order and
+ * are bit-identical to running each point sequentially — every run
+ * owns its Network and seeded Rng. This is the engine under
+ * sweepLoads, runReplicated, runCampaign and bench::sweep.
+ */
+std::vector<RunResult> runMany(const std::vector<SimConfig>& points);
+
+/** Run the same configuration at several offered loads (runMany). */
 std::vector<RunResult> sweepLoads(SimConfig cfg,
                                   const std::vector<double>& loads);
+
+/** Outcome of a saturation-load bisection. */
+struct SaturationResult
+{
+    double load = 0.0;       //!< Highest healthy load found (>= lo).
+    /**
+     * True when even `lo` was unhealthy: the network saturates
+     * somewhere below the search range, and `load` (== lo) is only
+     * the range floor, not a measured saturation point.
+     */
+    bool belowRange = false;
+    std::uint32_t probes = 0;      //!< Experiments run.
+    std::uint64_t flitEvents = 0;  //!< Work across all probes.
+    double wallSeconds = 0.0;      //!< Wall-clock for the search.
+};
 
 /**
  * Binary-search the saturation load: the highest offered load (within
  * `tolerance`) at which the network still drains and average latency
- * stays below `latency_cap`.
+ * stays below `latency_cap`. Check `belowRange` before trusting
+ * `load`: it distinguishes "saturates exactly at lo" from "already
+ * saturated below lo".
+ */
+SaturationResult findSaturation(SimConfig cfg, double lo, double hi,
+                                double tolerance = 0.01,
+                                double latency_cap = 2000.0);
+
+/**
+ * Scalar convenience wrapper over findSaturation. Returns the
+ * saturation load, or -1.0 (sentinel) when even `lo` was unhealthy —
+ * callers that need the distinction without magic numbers should use
+ * findSaturation directly.
  */
 double findSaturationLoad(SimConfig cfg, double lo, double hi,
                           double tolerance = 0.01,
@@ -52,13 +89,16 @@ struct ReplicatedResult
     double meanKillsPerMessage = 0.0;
     bool allDrained = true;
     bool anyDeadlock = false;
+    std::uint64_t flitEvents = 0;  //!< Work across all replications.
+    double wallSeconds = 0.0;      //!< Wall-clock for the batch.
 };
 
 /**
- * Run `replications` independent runs (seeds seed, seed+1, ...) and
- * aggregate. The 95% intervals use the normal approximation
- * 1.96 * s / sqrt(n); with the default n=5 they are indicative, not
- * exact.
+ * Run `replications` independent runs (seeds seed, seed+1, ...) in
+ * parallel (cfg.jobs) and aggregate. The 95% intervals use the normal
+ * approximation 1.96 * s / sqrt(n); with the default n=5 they are
+ * indicative, not exact, and with n=1 they are reported as exactly 0
+ * (a single sample has no spread to estimate).
  */
 ReplicatedResult runReplicated(SimConfig cfg,
                                std::uint32_t replications = 5);

@@ -102,6 +102,15 @@ struct RunResult
     bool deadlocked = false;
     bool drained = false;          //!< All measured msgs delivered.
     Cycle cyclesRun = 0;
+
+    // --- Engine observability (not simulation results) ----------------
+    /**
+     * Data-flit events processed over the whole run: injections +
+     * switch traversals + consumptions. The work metric behind the
+     * flit-events/sec throughput figure in bench timing footers.
+     */
+    std::uint64_t flitEvents = 0;
+    double wallSeconds = 0.0;      //!< Host wall-clock for this run.
 };
 
 } // namespace crnet

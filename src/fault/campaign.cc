@@ -1,7 +1,11 @@
 #include "src/fault/campaign.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "src/core/network.hh"
 #include "src/sim/log.hh"
+#include "src/sim/parallel.hh"
 
 namespace crnet {
 
@@ -83,12 +87,14 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
     net.setTrafficEnabled(false);
 
     // Drain: let in-flight worms, retries and teardown traffic play
-    // out until the network is quiescent (or provably stuck).
+    // out until the network is quiescent (or provably stuck). The
+    // final step is clamped so the drain cap is honored exactly.
     Cycle drained = 0;
     while (!net.quiescent() && !net.deadlocked() &&
            drained < cc.drainCap) {
-        net.run(64);
-        drained += 64;
+        const Cycle step = std::min<Cycle>(64, cc.drainCap - drained);
+        net.run(step);
+        drained += step;
     }
 
     TrialOutcome t;
@@ -105,6 +111,9 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
     t.deadlocked = net.deadlocked();
     t.fullyAccounted = ledger.fullyAccounted() && !t.deadlocked;
     t.cyclesRun = net.now();
+    t.flitEvents = net.stats().flitsInjected.value() +
+                   net.stats().router.flitsForwarded.value() +
+                   net.stats().flitsConsumed.value();
 
     const FaultSchedule* sched = net.schedule();
     t.firstFaultAt =
@@ -142,13 +151,24 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
 CampaignSummary
 runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
 {
+    const auto start = std::chrono::steady_clock::now();
     CampaignSummary s;
     s.trials = cc.trials;
 
+    // Trials are fully independent (each owns its Network, Rng and
+    // ledger), so fan them out and aggregate in trial order — the
+    // summary and the per-trial rows match a sequential campaign
+    // bit for bit.
+    std::vector<TrialOutcome> trials(cc.trials);
+    parallelFor(cc.trials, resolveJobs(cc.base.jobs),
+                [&](std::size_t trial) {
+                    trials[trial] = runTrial(
+                        cc, static_cast<std::uint32_t>(trial));
+                });
+
     double pre_sum = 0.0, post_sum = 0.0, rec_sum = 0.0;
     std::uint32_t pre_n = 0, post_n = 0;
-    for (std::uint32_t trial = 0; trial < cc.trials; ++trial) {
-        const TrialOutcome t = runTrial(cc, trial);
+    for (const TrialOutcome& t : trials) {
         if (t.fullyAccounted)
             ++s.accountedTrials;
         if (t.deadlocked)
@@ -159,6 +179,7 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
         s.pending += t.pendingAtEnd;
         s.duplicates += t.duplicates;
         s.faultEvents += t.faultEvents;
+        s.flitEvents += t.flitEvents;
         if (t.preFaultLatency > 0.0) {
             pre_sum += t.preFaultLatency;
             ++pre_n;
@@ -170,9 +191,9 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
         rec_sum += static_cast<double>(t.recoveryCycles);
         if (t.recoveryCycles > s.maxRecoveryCycles)
             s.maxRecoveryCycles = t.recoveryCycles;
-        if (out != nullptr)
-            out->push_back(t);
     }
+    if (out != nullptr)
+        out->insert(out->end(), trials.begin(), trials.end());
     s.deliveryRate =
         s.accepted > 0
             ? static_cast<double>(s.delivered) / s.accepted
@@ -181,6 +202,9 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
     s.meanPostFaultLatency = post_n > 0 ? post_sum / post_n : 0.0;
     s.meanRecoveryCycles =
         cc.trials > 0 ? rec_sum / cc.trials : 0.0;
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
     return s;
 }
 

@@ -136,6 +136,7 @@ struct TrialOutcome
     bool deadlocked = false;
     bool fullyAccounted = false;
     Cycle cyclesRun = 0;
+    std::uint64_t flitEvents = 0;  //!< Engine work done this trial.
 };
 
 /** Aggregates across all trials of one campaign. */
@@ -155,11 +156,16 @@ struct CampaignSummary
     double meanPostFaultLatency = 0.0;
     double meanRecoveryCycles = 0.0;
     Cycle maxRecoveryCycles = 0;
+    std::uint64_t flitEvents = 0;  //!< Engine work across all trials.
+    double wallSeconds = 0.0;      //!< Wall-clock for the campaign.
 };
 
 /**
- * Run `cfg.trials` seeded trials. Per-trial outcomes are appended to
- * `out` when non-null; the return value aggregates them.
+ * Run `cfg.trials` seeded trials, fanned out across `cfg.base.jobs`
+ * worker threads (resolveJobs; trials are fully independent). Per-
+ * trial outcomes are appended to `out` in trial order when non-null —
+ * identical to a sequential campaign — and the return value
+ * aggregates them.
  */
 CampaignSummary runCampaign(const CampaignConfig& cfg,
                             std::vector<TrialOutcome>* out = nullptr);

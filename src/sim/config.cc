@@ -113,6 +113,8 @@ SimConfig::validate() const
     }
     if (auditInterval < 1)
         fatal("auditInterval must be >= 1");
+    if (jobs > 1024)
+        fatal("jobs must be in [0, 1024] (got ", jobs, ")");
 }
 
 SimConfig&
@@ -182,6 +184,8 @@ SimConfig::set(const std::string& key, const std::string& value)
     else if (key == "burst_len") burstLen = parseU64(key, value);
     else if (key == "burst_rate") burstRate = parseF64(key, value);
     else if (key == "fault_scenario") faultScenario = value;
+    else if (key == "jobs") jobs =
+        static_cast<std::uint32_t>(parseU64(key, value));
     else if (key == "seed") seed = parseU64(key, value);
     else if (key == "warmup") warmupCycles = parseU64(key, value);
     else if (key == "measure") measureCycles = parseU64(key, value);

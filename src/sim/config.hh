@@ -149,6 +149,15 @@ struct SimConfig
 
     // --- Experiment ---------------------------------------------------
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the batch engines (`runMany`/`sweepLoads`,
+     * `runReplicated`, `runCampaign`). 0 = resolve from the
+     * CRNET_JOBS environment variable, falling back to 1
+     * (sequential). Results are bit-identical at every setting: each
+     * run owns its Network and seeded Rng, and collection is
+     * submission-ordered (see src/sim/parallel.hh).
+     */
+    std::uint32_t jobs = 0;
     Cycle warmupCycles = 2000;
     Cycle measureCycles = 10000;
     Cycle drainCycles = 100000;       //!< Cap on the drain phase.

@@ -1,0 +1,100 @@
+#include "src/sim/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/sim/log.hh"
+
+namespace crnet {
+
+unsigned
+hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested == 0) {
+        if (const char* env = std::getenv("CRNET_JOBS")) {
+            char* end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                requested = static_cast<unsigned>(
+                    std::min<unsigned long>(v, kMaxJobs));
+            else if (*env != '\0')
+                warn("CRNET_JOBS='", env,
+                     "' is not a positive integer; using 1 job");
+        }
+    }
+    return std::clamp(requested, 1u, kMaxJobs);
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    jobs = std::clamp(jobs, 1u, kMaxJobs);
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (!task)
+        panic("ThreadPool::submit called with an empty task");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            panic("ThreadPool::submit after shutdown began");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace crnet

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Parallel experiment execution: a small fixed-size thread pool plus
+ * an index-space `parallelFor` used by every batch engine
+ * (`runMany`/`sweepLoads`, `runReplicated`, `runCampaign`).
+ *
+ * Design constraints, in order:
+ *   1. *Determinism.* Each work item owns its whole simulation state
+ *      (a `Network` and its seeded `Rng`), so items share nothing and
+ *      results written by index are bit-identical to a sequential
+ *      run regardless of scheduling. Nothing here may introduce
+ *      cross-item communication.
+ *   2. *Submission-ordered collection.* Results land in caller-owned
+ *      slots addressed by item index; completion order never shows.
+ *   3. *Zero cost when off.* `jobs <= 1` (the default) runs inline on
+ *      the calling thread: no threads, no locks, no behavior change.
+ *
+ * Job-count resolution (`resolveJobs`): an explicit request (the
+ * `jobs=` config key) wins; otherwise the `CRNET_JOBS` environment
+ * variable; otherwise 1. `hardwareJobs()` reports the machine width
+ * for observability output.
+ */
+
+#ifndef CRNET_SIM_PARALLEL_HH
+#define CRNET_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crnet {
+
+/** Upper bound on worker threads (sanity clamp, not a target). */
+inline constexpr unsigned kMaxJobs = 1024;
+
+/** Worker threads the hardware offers (always >= 1). */
+unsigned hardwareJobs();
+
+/**
+ * Resolve a requested job count: `requested` > 0 wins, else the
+ * CRNET_JOBS environment variable, else 1. Clamped to [1, kMaxJobs].
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+/**
+ * Fixed-size pool of worker threads draining one task queue.
+ *
+ * Tasks must not throw (engine code reports failure via panic/fatal,
+ * which abort the process); an escaping exception would terminate.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `jobs` workers (clamped to [1, kMaxJobs]). */
+    explicit ThreadPool(unsigned jobs);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned jobs() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;  //!< Queued + currently running.
+    bool stopping_ = false;
+};
+
+/**
+ * Run `fn(i)` for every i in [0, n) on up to `jobs` worker threads
+ * (pass the result of resolveJobs). With `jobs <= 1` or `n <= 1` the
+ * loop runs inline on the calling thread. Returns when all items are
+ * done. `fn` must confine its writes to per-index state (e.g.
+ * `out[i] = ...`) for the deterministic-collection guarantee to hold.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, unsigned jobs, Fn&& fn)
+{
+    if (n == 0)
+        return;
+    const auto width = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n));
+    if (width <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(width);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace crnet
+
+#endif // CRNET_SIM_PARALLEL_HH

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/experiment.hh"
+#include "src/fault/campaign.hh"
 
 namespace crnet {
 namespace {
@@ -111,6 +114,224 @@ TEST(Experiment, OverloadedRunReportsNotDrained)
     cfg.drainCycles = 2000;  // Deliberately too small to drain.
     const RunResult r = runExperiment(cfg);
     EXPECT_FALSE(r.drained);
+}
+
+// Regression: killsPerMessage once divided by messagesDelivered + 1
+// (all phases, off by one) instead of the measured-delivered count it
+// is defined over.
+TEST(Experiment, KillsPerMessageUsesMeasuredDeliveredDenominator)
+{
+    SimConfig cfg = quickCfg();
+    cfg.injectionRate = 0.45;  // Hot enough that kills happen.
+    cfg.timeout = 4;
+    const RunResult r = runExperiment(cfg);
+    ASSERT_GT(r.totalKills, 0u);
+    ASSERT_GT(r.deliveredMeasured, 0u);
+    EXPECT_DOUBLE_EQ(r.killsPerMessage,
+                     static_cast<double>(r.totalKills) /
+                         static_cast<double>(r.deliveredMeasured));
+}
+
+// Regression: a single replication once reported a "CI" computed from
+// a one-sample stddev. n=1 has no spread information: CI must be 0.
+TEST(Experiment, SingleReplicationReportsZeroCi)
+{
+    const ReplicatedResult rep = runReplicated(quickCfg(), 1);
+    EXPECT_EQ(rep.replications, 1u);
+    EXPECT_GT(rep.meanLatency, 0.0);
+    EXPECT_DOUBLE_EQ(rep.latencyCi95, 0.0);
+    EXPECT_DOUBLE_EQ(rep.throughputCi95, 0.0);
+}
+
+TEST(Experiment, ReplicationsUseConsecutiveSeeds)
+{
+    SimConfig cfg = quickCfg();
+    const ReplicatedResult rep = runReplicated(cfg, 4);
+    EXPECT_GT(rep.latencyCi95, 0.0);
+
+    // The aggregate must equal the hand-rolled mean over seeds
+    // s, s+1, s+2, s+3 — pinning both the seeding scheme and the
+    // deterministic in-order aggregation.
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        SimConfig one = cfg;
+        one.seed = cfg.seed + i;
+        sum += runExperiment(one).avgLatency;
+    }
+    EXPECT_DOUBLE_EQ(rep.meanLatency, sum / 4.0);
+}
+
+TEST(Experiment, SweepPreservesInputOrder)
+{
+    // Deliberately unsorted loads: results must come back in input
+    // order, not completion or sorted order.
+    const std::vector<double> loads = {0.30, 0.05, 0.20};
+    const auto results = sweepLoads(quickCfg(), loads);
+    ASSERT_EQ(results.size(), loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        EXPECT_DOUBLE_EQ(results[i].offeredLoad, loads[i]);
+}
+
+// Regression: findSaturationLoad returned `lo` when even `lo` failed
+// the health predicate, indistinguishable from "saturates at lo".
+TEST(Experiment, SaturationReportsBelowRangeWhenLoIsUnhealthy)
+{
+    SimConfig cfg = quickCfg();
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 800;
+    cfg.drainCycles = 8000;
+    // A latency cap below the zero-load latency makes every probe
+    // unhealthy.
+    const SaturationResult res = findSaturation(cfg, 0.05, 1.0, 0.05,
+                                                1.0);
+    EXPECT_TRUE(res.belowRange);
+    EXPECT_DOUBLE_EQ(res.load, 0.05);
+    EXPECT_GE(res.probes, 1u);
+    EXPECT_DOUBLE_EQ(findSaturationLoad(cfg, 0.05, 1.0, 0.05, 1.0),
+                     -1.0);
+}
+
+TEST(Experiment, SaturationStructMatchesScalarOnHealthyRange)
+{
+    SimConfig cfg = quickCfg();
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 800;
+    cfg.drainCycles = 8000;
+    const SaturationResult res = findSaturation(cfg, 0.05, 1.0, 0.05,
+                                                400.0);
+    EXPECT_FALSE(res.belowRange);
+    EXPECT_GT(res.probes, 1u);
+    EXPECT_DOUBLE_EQ(findSaturationLoad(cfg, 0.05, 1.0, 0.05, 400.0),
+                     res.load);
+}
+
+// Regression: the drain loop stepped fixed 256-cycle quanta and could
+// overrun cfg.drainCycles by up to 255 cycles.
+TEST(Experiment, DrainBudgetIsRespectedExactly)
+{
+    SimConfig cfg = quickCfg();
+    cfg.injectionRate = 0.95;
+    cfg.messageLength = 32;
+    cfg.drainCycles = 1000;  // 3*256 + 232: exercises the final clamp.
+    const RunResult r = runExperiment(cfg);
+    ASSERT_FALSE(r.drained);  // Budget exhausted, so the clamp bound.
+    EXPECT_EQ(r.cyclesRun,
+              cfg.warmupCycles + cfg.measureCycles + cfg.drainCycles);
+}
+
+// --- Parallel engine: bit-identity with the sequential path ---------
+
+void
+expectIdenticalResults(const RunResult& a, const RunResult& b)
+{
+    EXPECT_DOUBLE_EQ(a.offeredLoad, b.offeredLoad);
+    EXPECT_DOUBLE_EQ(a.acceptedThroughput, b.acceptedThroughput);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_DOUBLE_EQ(a.netLatency, b.netLatency);
+    EXPECT_DOUBLE_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_DOUBLE_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_DOUBLE_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_DOUBLE_EQ(a.maxLatency, b.maxLatency);
+    EXPECT_DOUBLE_EQ(a.latencyStddev, b.latencyStddev);
+    EXPECT_DOUBLE_EQ(a.avgAttempts, b.avgAttempts);
+    EXPECT_DOUBLE_EQ(a.killsPerMessage, b.killsPerMessage);
+    EXPECT_DOUBLE_EQ(a.padOverhead, b.padOverhead);
+    EXPECT_EQ(a.measuredMessages, b.measuredMessages);
+    EXPECT_EQ(a.deliveredMeasured, b.deliveredMeasured);
+    EXPECT_EQ(a.totalKills, b.totalKills);
+    EXPECT_EQ(a.pathWideKills, b.pathWideKills);
+    EXPECT_EQ(a.escapeAllocations, b.escapeAllocations);
+    EXPECT_EQ(a.misrouteHops, b.misrouteHops);
+    EXPECT_EQ(a.corruptions, b.corruptions);
+    EXPECT_EQ(a.corruptedDeliveries, b.corruptedDeliveries);
+    EXPECT_EQ(a.orderViolations, b.orderViolations);
+    EXPECT_EQ(a.duplicateDeliveries, b.duplicateDeliveries);
+    EXPECT_EQ(a.refusals, b.refusals);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_EQ(a.cyclesRun, b.cyclesRun);
+    EXPECT_EQ(a.flitEvents, b.flitEvents);
+    // wallSeconds is host timing, legitimately different.
+}
+
+TEST(Parallelism, SweepIsBitIdenticalToSequential)
+{
+    const std::vector<double> loads = {0.05, 0.15, 0.25, 0.35, 0.10,
+                                       0.20};
+    SimConfig seq = quickCfg();
+    seq.jobs = 1;
+    SimConfig par = quickCfg();
+    par.jobs = 4;
+    const auto rs = sweepLoads(seq, loads);
+    const auto rp = sweepLoads(par, loads);
+    ASSERT_EQ(rs.size(), rp.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE("load index " + std::to_string(i));
+        expectIdenticalResults(rs[i], rp[i]);
+    }
+}
+
+TEST(Parallelism, ReplicationIsBitIdenticalToSequential)
+{
+    SimConfig seq = quickCfg();
+    seq.jobs = 1;
+    SimConfig par = quickCfg();
+    par.jobs = 4;
+    const ReplicatedResult rs = runReplicated(seq, 4);
+    const ReplicatedResult rp = runReplicated(par, 4);
+    EXPECT_DOUBLE_EQ(rs.meanLatency, rp.meanLatency);
+    EXPECT_DOUBLE_EQ(rs.latencyCi95, rp.latencyCi95);
+    EXPECT_DOUBLE_EQ(rs.meanThroughput, rp.meanThroughput);
+    EXPECT_DOUBLE_EQ(rs.throughputCi95, rp.throughputCi95);
+    EXPECT_DOUBLE_EQ(rs.meanKillsPerMessage, rp.meanKillsPerMessage);
+    EXPECT_EQ(rs.allDrained, rp.allDrained);
+    EXPECT_EQ(rs.anyDeadlock, rp.anyDeadlock);
+    EXPECT_EQ(rs.flitEvents, rp.flitEvents);
+}
+
+TEST(Parallelism, CampaignIsBitIdenticalToSequential)
+{
+    CampaignConfig cc;
+    cc.base = quickCfg();
+    cc.base.protocol = ProtocolKind::Fcr;
+    cc.base.timeout = 32;
+    cc.base.maxRetries = 0;
+    cc.base.misrouteAfterRetries = 1;
+    cc.base.misrouteBudget = 4;
+    cc.base.dynamicLinkKills = 1;
+    cc.trials = 6;
+
+    cc.base.jobs = 1;
+    std::vector<TrialOutcome> seq;
+    const CampaignSummary ss = runCampaign(cc, &seq);
+
+    cc.base.jobs = 4;
+    std::vector<TrialOutcome> par;
+    const CampaignSummary sp = runCampaign(cc, &par);
+
+    EXPECT_EQ(ss.accountedTrials, sp.accountedTrials);
+    EXPECT_EQ(ss.deadlockedTrials, sp.deadlockedTrials);
+    EXPECT_EQ(ss.accepted, sp.accepted);
+    EXPECT_EQ(ss.delivered, sp.delivered);
+    EXPECT_EQ(ss.refused, sp.refused);
+    EXPECT_EQ(ss.pending, sp.pending);
+    EXPECT_EQ(ss.duplicates, sp.duplicates);
+    EXPECT_EQ(ss.flitEvents, sp.flitEvents);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        SCOPED_TRACE("trial " + std::to_string(i));
+        EXPECT_EQ(seq[i].trial, par[i].trial);
+        EXPECT_EQ(seq[i].seed, par[i].seed);
+        EXPECT_EQ(seq[i].accepted, par[i].accepted);
+        EXPECT_EQ(seq[i].delivered, par[i].delivered);
+        EXPECT_EQ(seq[i].cyclesRun, par[i].cyclesRun);
+        EXPECT_EQ(seq[i].flitEvents, par[i].flitEvents);
+    }
+}
+
+TEST(Parallelism, RunManyHandlesEmptyInput)
+{
+    EXPECT_TRUE(runMany({}).empty());
 }
 
 } // namespace

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Measure the parallel experiment engine and emit BENCH_pr3.json.
+
+Every crnet bench ends with a machine-parseable footer:
+
+  timing: runs=N wall_s=S sims_per_s=R flit_events=E \
+      flit_events_per_s=F jobs=J cores=C
+
+This script runs a selection of benches twice — sequentially (jobs=1)
+and with the parallel engine (jobs=N, default min(8, cpu_count)) —
+parses the footers, and writes a JSON report recording per-bench
+wall-clock, throughput, and the parallel speedup, together with the
+host core count so the numbers are interpretable (speedup is bounded
+by the physical cores actually available).
+
+Usage:
+  tools/bench_report.py [--build-dir build] [--jobs N]
+                        [--out BENCH_pr3.json] [--quick]
+
+The default bench set covers one load-sweep bench and the fault
+campaign; --quick shrinks the simulated spans so the report finishes
+in about a minute on one core.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+SCHEMA = "crnet-bench-report-v1"
+
+# (bench binary, extra args). The overrides shrink simulated spans so
+# report generation stays cheap; both settings use identical configs,
+# so the speedup comparison is apples-to-apples.
+DEFAULT_BENCHES = [
+    ("bench_fig12_timeout", []),
+    ("bench_campaign_dynamic", ["trials=32", "seed_base=1"]),
+]
+QUICK_ARGS = {
+    "bench_fig12_timeout": ["measure=1000", "drain=10000"],
+    "bench_campaign_dynamic": ["trials=16", "seed_base=1"],
+}
+
+FOOTER_RE = re.compile(r"^timing: (.+)$", re.M)
+
+
+def parse_footer(output):
+    """Return the parsed key=value dict of the last timing footer."""
+    matches = FOOTER_RE.findall(output)
+    if not matches:
+        return None
+    fields = {}
+    for token in matches[-1].split():
+        key, _, value = token.partition("=")
+        try:
+            fields[key] = int(value)
+        except ValueError:
+            try:
+                fields[key] = float(value)
+            except ValueError:
+                fields[key] = value
+    return fields
+
+
+def run_bench(path, args, jobs):
+    """Run one bench at a job count; return its parsed footer."""
+    cmd = [path] + args + [f"jobs={jobs}"]
+    print(f"  $ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:], file=sys.stderr)
+        print(proc.stderr[-2000:], file=sys.stderr)
+        raise SystemExit(f"{path} exited {proc.returncode}")
+    footer = parse_footer(proc.stdout)
+    if footer is None:
+        raise SystemExit(f"{path}: no 'timing:' footer in output")
+    return footer
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir holding bench/ binaries")
+    ap.add_argument("--jobs", type=int,
+                    default=min(8, os.cpu_count() or 1),
+                    help="parallel job count to compare against jobs=1")
+    ap.add_argument("--out", default="BENCH_pr3.json")
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink simulated spans for a fast report")
+    opts = ap.parse_args()
+
+    report = {
+        "schema": SCHEMA,
+        "cpu_cores": os.cpu_count() or 1,
+        "jobs_parallel": opts.jobs,
+        "benches": {},
+    }
+    for name, args in DEFAULT_BENCHES:
+        path = os.path.join(opts.build_dir, "bench", name)
+        if not os.path.exists(path):
+            raise SystemExit(f"missing bench binary: {path} "
+                             "(build the repo first)")
+        if opts.quick:
+            args = QUICK_ARGS.get(name, args)
+        print(f"{name}:", file=sys.stderr)
+        seq = run_bench(path, args, 1)
+        par = run_bench(path, args, opts.jobs)
+        if seq["flit_events"] != par["flit_events"]:
+            raise SystemExit(
+                f"{name}: flit_events differ between jobs=1 "
+                f"({seq['flit_events']}) and jobs={opts.jobs} "
+                f"({par['flit_events']}) — determinism violation")
+        speedup = (seq["wall_s"] / par["wall_s"]
+                   if par["wall_s"] > 0 else 0.0)
+        report["benches"][name] = {
+            "args": args,
+            "jobs1": seq,
+            f"jobs{opts.jobs}": par,
+            "speedup": round(speedup, 3),
+        }
+        print(f"  speedup at jobs={opts.jobs}: {speedup:.2f}x "
+              f"({report['cpu_cores']} core(s) available)",
+              file=sys.stderr)
+
+    with open(opts.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {opts.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
