@@ -97,6 +97,18 @@ main(int argc, char** argv)
     }
     std::cout << "\n";
 
+    // Representative trial telemetry: replay trial 0's exact
+    // configuration (same seed, same fault draws) with interval
+    // sampling on, so the campaign output carries one recovery curve
+    // alongside the aggregate rows.
+    SimConfig rep = cc.base;
+    rep.seed = cc.seedBase;
+    rep.sampleInterval = 250;
+    const RunResult rr = runOne(rep);
+    std::printf("representative trial (seed %llu):\n",
+                static_cast<unsigned long long>(rep.seed));
+    emitTimeSeries(rr);
+
     std::printf("expected shape: accounted == trials, zero deadlocks, "
                 "zero pending, zero dups;\ndelivery rate ~1.0 with a "
                 "bounded post-fault latency transient.\n");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/experiment.hh"
+#include "src/core/timeseries.hh"
 #include "src/fault/campaign.hh"
 #include "src/sim/config.hh"
 #include "src/sim/parallel.hh"
@@ -71,6 +72,31 @@ emit(const Table& table)
     table.print(std::cout);
     std::cout << "\ncsv:\n";
     table.printCsv(std::cout);
+    std::cout << "\n";
+}
+
+/**
+ * Emit a run's time-series below the table, framed by a `timeseries:`
+ * marker that tools/extract_csv.py collects like `csv:` blocks.
+ */
+inline void
+emitTimeSeries(const RunResult& r)
+{
+    if (r.timeseries.empty())
+        return;
+    std::cout << "timeseries:\n";
+    writeTimeSeriesCsv(std::cout, r.timeseries);
+    std::cout << "\n";
+}
+
+/** Same for the channel heatmap (`heatmap:` marker). */
+inline void
+emitHeatmap(const RunResult& r)
+{
+    if (r.heatmap == nullptr)
+        return;
+    std::cout << "heatmap:\n";
+    writeHeatmapCsv(std::cout, *r.heatmap);
     std::cout << "\n";
 }
 

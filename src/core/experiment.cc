@@ -1,11 +1,14 @@
 #include "src/core/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <string>
 
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
+#include "src/sim/trace.hh"
 
 namespace crnet {
 
@@ -65,6 +68,19 @@ summarize(const Network& net, bool drained, Cycle cycles)
     r.flitEvents = s.flitsInjected.value() +
                    s.router.flitsForwarded.value() +
                    s.flitsConsumed.value();
+    r.latencyOverflow = s.latencyHist.overflow();
+    if (r.latencyOverflow > 0) {
+        // Once per process: every saturated run would repeat the same
+        // advice, and replicated sweeps run thousands of points.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("latency histogram saturated (", r.latencyOverflow,
+                 " samples above the top bin); p50/p95/p99 are lower "
+                 "bounds for this run");
+        }
+    }
+    r.timeseries = net.timeseriesSamples();
+    r.heatmap = net.collectHeatmap();
     if (cfg.measureCycles > 0) {
         r.acceptedThroughput =
             static_cast<double>(s.measuredPayloadFlits.value()) /
@@ -113,7 +129,16 @@ runMany(const std::vector<SimConfig>& points)
     const unsigned jobs =
         resolveJobs(points.empty() ? 0 : points.front().jobs);
     parallelFor(points.size(), jobs, [&](std::size_t i) {
-        out[i] = runExperiment(points[i]);
+        // Give each run its own trace/time-series sink: suffix the
+        // resolved prefix so jobs=N writes N distinct files whose
+        // bytes match a jobs=1 batch run-for-run.
+        SimConfig cfg = points[i];
+        if (points.size() > 1) {
+            const std::string prefix = Tracer::resolvePrefix(cfg);
+            if (!prefix.empty())
+                cfg.traceFile = prefix + "_run" + std::to_string(i);
+        }
+        out[i] = runExperiment(cfg);
     });
     return out;
 }

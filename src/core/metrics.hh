@@ -9,7 +9,10 @@
 #define CRNET_CORE_METRICS_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "src/core/timeseries.hh"
 #include "src/router/router.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/types.hh"
@@ -102,6 +105,19 @@ struct RunResult
     bool deadlocked = false;
     bool drained = false;          //!< All measured msgs delivered.
     Cycle cyclesRun = 0;
+    /**
+     * Samples that fell past the latency histogram's last bin
+     * (latencyHist caps at binWidth * numBins = 32768 cycles). When
+     * non-zero, p50/p95/p99 are clamped to the histogram range and
+     * summarize() warns once per process.
+     */
+    std::uint64_t latencyOverflow = 0;
+
+    // --- Telemetry (populated when the matching config keys are set) --
+    /** Interval samples (`sample_interval` > 0); else empty. */
+    std::vector<TimeSeriesSample> timeseries;
+    /** Per-node heat counters (`heatmap=1`); else null. */
+    std::shared_ptr<const HeatmapData> heatmap;
 
     // --- Engine observability (not simulation results) ----------------
     /**

@@ -4,8 +4,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/core/timeseries.hh"
 #include "src/fault/campaign.hh"
 #include "src/sim/log.hh"
+#include "src/sim/trace.hh"
 
 namespace crnet {
 
@@ -75,6 +77,25 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
         receivers_[id]->setAuditor(audit_.get());
     }
 #endif
+
+    // Observability sinks. All of these are null/off by default, so
+    // an untraced run pays exactly one null-pointer branch per hook.
+    const std::string trace_prefix = Tracer::resolvePrefix(cfg_);
+    if (!trace_prefix.empty()) {
+        trace_ =
+            std::make_unique<Tracer>(trace_prefix, cfg_.watchSpec);
+        for (NodeId id = 0; id < n; ++id) {
+            routers_[id]->setTracer(trace_.get());
+            injectors_[id]->setTracer(trace_.get());
+            receivers_[id]->setTracer(trace_.get());
+        }
+    }
+    if (cfg_.sampleInterval > 0)
+        timeseries_ = std::make_unique<TimeSeries>(cfg_.sampleInterval);
+    if (cfg_.heatmapEnabled) {
+        for (NodeId id = 0; id < n; ++id)
+            routers_[id]->setHeatTracking(true);
+    }
 }
 
 Network::~Network() = default;
@@ -102,6 +123,12 @@ Network::deliver()
                 if (p.flit.isData()) {
                     stats_.flitsLostOnDeadLinks.inc();
                     CRNET_AUDIT_HOOK(audit_.get(), onFlitsPurged(1));
+                    if (trace_ != nullptr) {
+                        trace_->record(TraceEventKind::LinkLoss,
+                                       p.flit.msg, p.node, p.flit.src,
+                                       p.flit.dst, p.flit.attempt,
+                                       p.inPort);
+                    }
                 } else {
                     stats_.killsAbsorbedAtDeadLinks.inc();
                 }
@@ -157,6 +184,11 @@ void
 Network::applyOneFaultEvent(const FaultEvent& ev)
 {
     stats_.faultEventsApplied.inc();
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::Fault, kInvalidMsg, ev.node,
+                       kInvalidNode, kInvalidNode,
+                       static_cast<std::uint16_t>(ev.kind), ev.port);
+    }
     switch (ev.kind) {
     case FaultEventKind::DirectedLinkDeath:
         if (faults_->linkOk(ev.node, ev.port)) {
@@ -360,6 +392,8 @@ void
 Network::tick()
 {
     CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
+    if (trace_ != nullptr)
+        trace_->beginCycle(now_);
     if (dynamicFaults_ && schedule_ != nullptr)
         applyFaultEvents();
     deliver();
@@ -395,7 +429,62 @@ Network::tick()
     if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
         runAuditSweep();
 #endif
+    if (timeseries_ != nullptr &&
+        (now_ + 1) % timeseries_->interval() == 0) {
+        takeSample();
+    }
     ++now_;
+}
+
+void
+Network::takeSample()
+{
+    std::uint64_t in_flight = 0;
+    std::uint64_t buffered = 0;
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        in_flight += injectors_[id]->activeWorms();
+        buffered += routers_[id]->bufferedFlits();
+        buffered += receivers_[id]->bufferedFlits();
+    }
+    timeseries_->sample(now_ + 1, stats_, in_flight, buffered);
+}
+
+std::vector<TimeSeriesSample>
+Network::timeseriesSamples() const
+{
+    if (timeseries_ == nullptr)
+        return {};
+    return timeseries_->samples();
+}
+
+std::shared_ptr<const HeatmapData>
+Network::collectHeatmap() const
+{
+    if (!cfg_.heatmapEnabled)
+        return nullptr;
+    auto hm = std::make_shared<HeatmapData>();
+    const NodeId n = topo_->numNodes();
+    const PortId net_ports = routers_[0]->networkPorts();
+    hm->radixK = cfg_.radixK;
+    hm->dims = cfg_.dimensionsN;
+    hm->netPorts = net_ports;
+    hm->cycles = now_;
+    hm->occupancyIntegral.resize(n);
+    hm->blockedCycles.assign(
+        static_cast<std::size_t>(n) * net_ports, 0);
+    hm->forwarded.assign(static_cast<std::size_t>(n) * net_ports, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        const Router& r = *routers_[id];
+        hm->occupancyIntegral[id] = r.heatOccupancyIntegral();
+        for (PortId p = 0; p < net_ports; ++p) {
+            const std::size_t at =
+                static_cast<std::size_t>(id) * net_ports + p;
+            hm->forwarded[at] = r.heatForwarded(p);
+            hm->blockedCycles[at] = r.heatBlocked(p);
+        }
+    }
+    return hm;
 }
 
 void

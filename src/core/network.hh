@@ -34,6 +34,8 @@
 namespace crnet {
 
 class DeliveryLedger;
+class Tracer;
+class TimeSeries;
 
 /** A complete simulated network. */
 class Network : public DeliverySink, public MessageFailureSink
@@ -103,6 +105,20 @@ class Network : public DeliverySink, public MessageFailureSink
 
     /** The invariant auditor, or null when compiled out. */
     Auditor* auditor() { return audit_.get(); }
+
+    // --- Observability (see docs/OBSERVABILITY.md) --------------------
+
+    /** The event tracer, or null when tracing is disabled. */
+    Tracer* tracer() { return trace_.get(); }
+
+    /** Collected time-series samples (empty unless sample_interval). */
+    std::vector<TimeSeriesSample> timeseriesSamples() const;
+
+    /**
+     * Channel-heat snapshot (per-router occupancy integral, per-port
+     * forwarded flits and blocked cycles). Null unless heatmap=1.
+     */
+    std::shared_ptr<const HeatmapData> collectHeatmap() const;
 
     /** Messages counted into the measurement window. */
     std::uint64_t measuredCreated() const { return measuredCreated_; }
@@ -222,12 +238,17 @@ class Network : public DeliverySink, public MessageFailureSink
     /** Snapshot every credit ledger and run the invariant sweep. */
     void runAuditSweep();
 
+    /** Append one time-series sample covering the last interval. */
+    void takeSample();
+
     /** Wave that events maturing `delay` cycles from now go into. */
     Wave& waveIn(Cycle delay);
 
     SimConfig cfg_;
     std::unique_ptr<Topology> topo_;
     std::unique_ptr<Auditor> audit_;
+    std::unique_ptr<Tracer> trace_;
+    std::unique_ptr<TimeSeries> timeseries_;
     std::unique_ptr<FaultModel> faults_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     NetworkStats stats_;

@@ -1,0 +1,112 @@
+#include "src/core/timeseries.hh"
+
+#include <ostream>
+
+#include "src/core/metrics.hh"
+#include "src/sim/log.hh"
+#include "src/sim/table.hh"
+
+namespace crnet {
+
+TimeSeries::TimeSeries(Cycle interval) : interval_(interval)
+{
+    if (interval_ < 1)
+        panic("TimeSeries interval must be >= 1");
+}
+
+void
+TimeSeries::sample(Cycle now, const NetworkStats& stats,
+                   std::uint64_t in_flight_worms,
+                   std::uint64_t buffered_flits)
+{
+    const std::uint64_t delivered = stats.messagesDelivered.value();
+    const std::uint64_t payload = stats.measuredPayloadFlits.value();
+    const std::uint64_t kills = stats.sourceKills.value() +
+                                stats.router.pathWideKills.value();
+    const std::uint64_t retrans = stats.abortedByBkill.value();
+    const std::uint64_t faults = stats.faultEventsApplied.value();
+    const double lat_sum = stats.totalLatency.sum();
+    const std::uint64_t lat_count = stats.totalLatency.count();
+
+    TimeSeriesSample s;
+    s.at = now;
+    s.delivered = delivered - lastDelivered_;
+    s.payloadFlits = payload - lastPayload_;
+    s.kills = kills - lastKills_;
+    s.retransmits = retrans - lastRetrans_;
+    s.faultEvents = faults - lastFaults_;
+    if (lat_count > lastLatencyCount_) {
+        s.meanLatency = (lat_sum - lastLatencySum_) /
+                        static_cast<double>(lat_count -
+                                            lastLatencyCount_);
+    }
+    s.inFlightWorms = in_flight_worms;
+    s.bufferedFlits = buffered_flits;
+    samples_.push_back(s);
+
+    lastDelivered_ = delivered;
+    lastPayload_ = payload;
+    lastKills_ = kills;
+    lastRetrans_ = retrans;
+    lastFaults_ = faults;
+    lastLatencySum_ = lat_sum;
+    lastLatencyCount_ = lat_count;
+}
+
+void
+writeTimeSeriesCsv(std::ostream& os,
+                   const std::vector<TimeSeriesSample>& samples)
+{
+    Table t("timeseries");
+    t.setHeader({"cycle", "delivered", "payload_flits", "mean_latency",
+                 "kills", "retransmits", "fault_events",
+                 "inflight_worms", "buffered_flits"});
+    for (const TimeSeriesSample& s : samples) {
+        t.addRow({Table::cell(s.at), Table::cell(s.delivered),
+                  Table::cell(s.payloadFlits),
+                  Table::cell(s.meanLatency, 2), Table::cell(s.kills),
+                  Table::cell(s.retransmits), Table::cell(s.faultEvents),
+                  Table::cell(s.inFlightWorms),
+                  Table::cell(s.bufferedFlits)});
+    }
+    t.printCsv(os);
+}
+
+void
+writeHeatmapCsv(std::ostream& os, const HeatmapData& heat)
+{
+    const auto nodes =
+        static_cast<NodeId>(heat.occupancyIntegral.size());
+    Table t("heatmap");
+    std::vector<std::string> header{"node", "x", "y", "occ_integral",
+                                    "blocked_cycles"};
+    for (PortId p = 0; p < heat.netPorts; ++p) {
+        header.push_back("fwd_p" + std::to_string(p));
+        header.push_back("blk_p" + std::to_string(p));
+    }
+    t.setHeader(std::move(header));
+    for (NodeId n = 0; n < nodes; ++n) {
+        std::vector<std::string> row;
+        row.push_back(Table::cell(static_cast<std::uint64_t>(n)));
+        row.push_back(Table::cell(
+            static_cast<std::uint64_t>(n % heat.radixK)));
+        row.push_back(Table::cell(
+            static_cast<std::uint64_t>(n / heat.radixK % heat.radixK)));
+        row.push_back(Table::cell(heat.occupancyIntegral[n]));
+        std::uint64_t blocked = 0;
+        for (PortId p = 0; p < heat.netPorts; ++p)
+            blocked += heat.blockedCycles[
+                static_cast<std::size_t>(n) * heat.netPorts + p];
+        row.push_back(Table::cell(blocked));
+        for (PortId p = 0; p < heat.netPorts; ++p) {
+            const std::size_t i =
+                static_cast<std::size_t>(n) * heat.netPorts + p;
+            row.push_back(Table::cell(heat.forwarded[i]));
+            row.push_back(Table::cell(heat.blockedCycles[i]));
+        }
+        t.addRow(std::move(row));
+    }
+    t.printCsv(os);
+}
+
+} // namespace crnet

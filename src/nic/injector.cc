@@ -6,6 +6,7 @@
 #include "src/nic/padding.hh"
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
+#include "src/sim/trace.hh"
 
 namespace crnet {
 
@@ -110,6 +111,10 @@ Injector::acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg)
         return;
     }
     stats_->abortedByBkill.inc();
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::Abort, s.msg.id, node_, node_,
+                       s.msg.dst, s.msg.attempt);
+    }
     PendingMessage retry = s.msg;
     retry.attempt = static_cast<std::uint16_t>(retry.attempt + 1);
     // The backoff gap is anchored at the next tick (requeueForRetry
@@ -130,12 +135,21 @@ Injector::requeueForRetry(PendingMessage msg, Cycle now)
         stats_->messagesFailed.inc();
         if (msg.measured)
             stats_->measuredFailed.inc();
+        if (trace_ != nullptr) {
+            trace_->record(TraceEventKind::GiveUp, msg.id, node_,
+                           node_, msg.dst, msg.attempt);
+        }
         busyDests_.erase(msg.dst);
         if (failureSink_ != nullptr)
             failureSink_->onMessageFailed(msg, now);
         return;
     }
     msg.notBefore = now + retransmissionGap(cfg_, kills, rng_);
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::Retransmit, msg.id, node_,
+                       node_, msg.dst, msg.attempt,
+                       msg.notBefore - now);
+    }
     queue_.push_front(msg);
     // The worm is out of the network, so release the destination
     // reservation. No younger message to the same destination can
@@ -215,6 +229,11 @@ Injector::killWorm(std::uint32_t ch, VcId vc, Cycle now)
 {
     Slot& s = slot(ch, vc);
     stats_->sourceKills.inc();
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::SourceKill, s.msg.id, node_,
+                       node_, s.msg.dst, s.msg.attempt,
+                       s.stallCycles);
+    }
 
     Flit token;
     token.type = FlitType::Kill;
@@ -330,8 +349,14 @@ Injector::injectFlits(Cycle now)
                     continue;
 
                 Flit f = buildFlit(s, s.nextSeq, now);
-                if (s.nextSeq == 0)
+                if (s.nextSeq == 0) {
                     s.headInjectedAt = now;
+                    if (trace_ != nullptr) {
+                        trace_->record(TraceEventKind::Inject,
+                                       s.msg.id, node_, node_,
+                                       s.msg.dst, s.msg.attempt);
+                    }
+                }
                 sent.push_back(InjectedFlit{ch, vc, f});
                 --s.credits;
                 ++s.nextSeq;
@@ -348,6 +373,11 @@ Injector::injectFlits(Cycle now)
                     // been consumed, so the message is delivered
                     // without acknowledgement.
                     stats_->messagesCommitted.inc();
+                    if (trace_ != nullptr) {
+                        trace_->record(TraceEventKind::Commit,
+                                       s.msg.id, node_, node_,
+                                       s.msg.dst, s.msg.attempt);
+                    }
                     if (s.msg.measured) {
                         stats_->attempts.add(s.msg.attempt + 1);
                         stats_->padOverhead.add(

@@ -42,6 +42,7 @@
 namespace crnet {
 
 class Auditor;
+class Tracer;
 
 /** A flit the injector puts on an injection channel this cycle. */
 struct InjectedFlit
@@ -132,6 +133,9 @@ class Injector
     /** Attach the invariant auditor (null to detach). */
     void setAuditor(Auditor* audit) { audit_ = audit; }
 
+    /** Attach the event tracer (null to detach; the default). */
+    void setTracer(Tracer* trace) { trace_ = trace; }
+
     /** Credit counter of one (channel, VC) slot. */
     std::uint32_t slotCredits(std::uint32_t ch, VcId vc) const;
 
@@ -173,6 +177,7 @@ class Injector
     const RoutingAlgorithm& algo_;
     NetworkStats* stats_;
     Auditor* audit_ = nullptr;
+    Tracer* trace_ = nullptr;
     MessageFailureSink* failureSink_ = nullptr;
     Rng rng_;
 

@@ -2,6 +2,7 @@
 
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
+#include "src/sim/trace.hh"
 
 namespace crnet {
 
@@ -77,10 +78,16 @@ Receiver::acceptFlit(std::uint32_t ej_channel, VcId vc,
         auto it = assemblies_.find(flit.msg);
         if (it != assemblies_.end() &&
             it->second.attempt <= flit.attempt) {
-            if (dynamicFaults_)
+            if (dynamicFaults_) {
                 it->second.terminated = true;
-            else
+            } else {
+                if (trace_ != nullptr) {
+                    trace_->record(TraceEventKind::Discard, flit.msg,
+                                   node_, it->second.src, node_,
+                                   it->second.attempt);
+                }
                 assemblies_.erase(it);
+            }
         }
         b.refusing = false;
         b.refusedMsg = kInvalidMsg;
@@ -190,6 +197,12 @@ Receiver::commitDelivery(const DeliveredMessage& d)
 
     checkDeliveryOrder(d.src, d.pairSeq);
 
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::Deliver, d.id, node_, d.src,
+                       d.dst,
+                       static_cast<std::uint16_t>(d.attempts - 1),
+                       d.deliveredAt - d.createdAt);
+    }
     if (d.measured) {
         stats_->measuredDelivered.inc();
         stats_->measuredPayloadFlits.inc(d.payloadLen);
@@ -309,6 +322,10 @@ Receiver::resolveTerminated(MsgId msg, Assembly& a, Cycle now)
         commitDelivery(d);
     } else {
         stats_->assembliesDiscarded.inc();
+        if (trace_ != nullptr) {
+            trace_->record(TraceEventKind::Discard, msg, node_, a.src,
+                           node_, a.attempt);
+        }
     }
     assemblies_.erase(msg);
 }

@@ -53,6 +53,7 @@
 namespace crnet {
 
 class Auditor;
+class Tracer;
 
 /** A fully received message, as reported to the delivery sink. */
 struct DeliveredMessage
@@ -143,6 +144,9 @@ class Receiver
     /** Attach the invariant auditor (null to detach). */
     void setAuditor(Auditor* audit) { audit_ = audit; }
 
+    /** Attach the event tracer (null to detach; the default). */
+    void setTracer(Tracer* trace) { trace_ = trace; }
+
     /** Flits buffered in one ejection VC. */
     std::uint32_t occupancy(std::uint32_t ch, VcId vc) const;
 
@@ -196,6 +200,7 @@ class Receiver
     NetworkStats* stats_;
     DeliverySink* sink_;
     Auditor* audit_ = nullptr;
+    Tracer* trace_ = nullptr;
 
     std::vector<VcBuffer> bufs_;  //!< [channel][vc] flattened.
     std::vector<VcId> rrVc_;      //!< Consumption RR per channel.

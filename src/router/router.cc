@@ -4,6 +4,7 @@
 
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
+#include "src/sim/trace.hh"
 
 namespace crnet {
 
@@ -116,6 +117,7 @@ Router::acceptFlit(PortId in_port, VcId vc, const Flit& flit)
             in.attempt = flit.attempt;
             in.stallCycles = 0;
             in.headArrivedAt = now_;
+            in.blockTraced = false;
             return;
         }
         // Continuation of a worm that was purged here (backward-kill
@@ -192,6 +194,11 @@ Router::processBkills()
         const std::size_t purged = in.buf.purge();
         stats_->flitsPurged.inc(purged);
         stats_->bkillHops.inc();
+        if (trace_ != nullptr) {
+            trace_->record(TraceEventKind::BkillHop, msg, id_,
+                           kInvalidNode, kInvalidNode, in.attempt,
+                           hp);
+        }
         CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
         CRNET_AUDIT_HOOK(audit_, onChannelReset(id_, hp, hv, msg));
         in.state = InputVc::State::Idle;
@@ -231,6 +238,11 @@ Router::forwardKills()
             outPortBusy_[o] = true;
             sentFlits.push_back(SentFlit{o, in.killOutVc, in.killFlit});
             stats_->killsForwarded.inc();
+            if (trace_ != nullptr) {
+                trace_->record(TraceEventKind::KillHop, in.killFlit.msg,
+                               id_, in.killFlit.src, in.killFlit.dst,
+                               in.killFlit.attempt, o);
+            }
             OutputVc& out = ovc(o, in.killOutVc);
             out.allocated = false;
             // Purged downstream flits never return credits; reset the
@@ -325,6 +337,16 @@ Router::routeHeaders(Cycle now)
                 in.state = InputVc::State::Active;
                 in.movedThisCycle = true;
                 stats_->headersRouted.inc();
+                in.blockTraced = false;
+                if (trace_ != nullptr) {
+                    trace_->record(TraceEventKind::HeadAdvance,
+                                   head.msg, id_, head.src, head.dst,
+                                   head.attempt, in.outPort);
+                }
+            } else if (trace_ != nullptr && !in.blockTraced) {
+                in.blockTraced = true;
+                trace_->record(TraceEventKind::Block, head.msg, id_,
+                               head.src, head.dst, head.attempt, p);
             }
         }
     }
@@ -385,6 +407,8 @@ Router::allocateSwitch(Cycle)
         sentCredits.push_back(SentCredit{winner->inPort,
                                          winner->inVc});
         stats_->flitsForwarded.inc();
+        if (heatTracking_)
+            ++heatForwarded_[o];
         in.movedThisCycle = true;
         in.stallCycles = 0;
         rrInVc_[winner->inPort] =
@@ -409,6 +433,10 @@ Router::killWormAt(PortId p, VcId v)
     const std::size_t purged = in.buf.purge();
     stats_->flitsPurged.inc(purged);
     stats_->pathWideKills.inc();
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventKind::RouterKill, msg, id_,
+                       kInvalidNode, kInvalidNode, in.attempt, p);
+    }
     CRNET_AUDIT_HOOK(audit_, onFlitsPurged(purged));
     CRNET_AUDIT_HOOK(audit_, onChannelReset(id_, p, v, msg));
 
@@ -557,6 +585,53 @@ Router::tick(Cycle now)
     if (cfg_.timeoutScheme == TimeoutScheme::PathWide ||
         cfg_.timeoutScheme == TimeoutScheme::DropAtBlock) {
         checkRouterTimeouts();
+    }
+    if (heatTracking_)
+        accumulateHeat();
+}
+
+void
+Router::setHeatTracking(bool on)
+{
+    heatTracking_ = on;
+    heatForwarded_.assign(on ? numOutPorts_ : 0, 0);
+    heatBlocked_.assign(on ? numInPorts_ : 0, 0);
+    heatOccupancy_ = 0;
+}
+
+std::uint64_t
+Router::heatForwarded(PortId out_port) const
+{
+    return heatTracking_ ? heatForwarded_[out_port] : 0;
+}
+
+std::uint64_t
+Router::heatBlocked(PortId in_port) const
+{
+    return heatTracking_ ? heatBlocked_[in_port] : 0;
+}
+
+void
+Router::accumulateHeat()
+{
+    for (PortId p = 0; p < numInPorts_; ++p) {
+        bool blocked = false;
+        for (VcId v = 0; v < numVcs_; ++v) {
+            const InputVc& in = ivc(p, v);
+            heatOccupancy_ += in.buf.size();
+            if (in.state == InputVc::State::Idle)
+                continue;
+            // Same notion of "blocked" as the path-wide timeout: the
+            // worm holds the VC, made no progress this cycle, and has
+            // something to move (a waiting header counts).
+            if (!in.movedThisCycle &&
+                (in.state == InputVc::State::Routing ||
+                 !in.buf.empty())) {
+                blocked = true;
+            }
+        }
+        if (blocked)
+            ++heatBlocked_[p];
     }
 }
 

@@ -48,6 +48,7 @@
 namespace crnet {
 
 class Auditor;
+class Tracer;
 
 /** Counters shared by all routers of one network. */
 struct RouterStats
@@ -209,6 +210,26 @@ class Router
     /** Attach the invariant auditor (null to detach). */
     void setAuditor(Auditor* audit) { audit_ = audit; }
 
+    /** Attach the event tracer (null to detach; the default). */
+    void setTracer(Tracer* trace) { trace_ = trace; }
+
+    // --- Heat counters (see src/core/timeseries.hh) --------------------
+
+    /** Enable per-port heat accumulation (allocates the counters). */
+    void setHeatTracking(bool on);
+
+    /** Data flits forwarded out of `out_port` (0 when not tracking). */
+    std::uint64_t heatForwarded(PortId out_port) const;
+
+    /** Cycles `in_port` held at least one blocked worm. */
+    std::uint64_t heatBlocked(PortId in_port) const;
+
+    /** Sum over cycles of flits buffered in this router. */
+    std::uint64_t heatOccupancyIntegral() const
+    {
+        return heatOccupancy_;
+    }
+
     /** Flits buffered in one input VC. */
     std::uint32_t inputOccupancy(PortId in_port, VcId vc) const;
 
@@ -241,6 +262,8 @@ class Router
         Cycle stallCycles = 0;          //!< For the path-wide scheme.
         Cycle headArrivedAt = 0;        //!< Header accept (forensics).
         bool movedThisCycle = false;    //!< Progress flag (stall calc).
+        bool blockTraced = false;       //!< Block event emitted for
+                                        //!< the current stall episode.
         bool killPending = false;       //!< Kill token to forward.
         Flit killFlit;                  //!< The stored token.
         PortId killOutPort = kInvalidPort;
@@ -277,12 +300,14 @@ class Router
     void killWormAt(PortId p, VcId v);
     void releaseForKill(InputVc& in);
     void propagateUpstream(PortId in_port, VcId vc, MsgId msg);
+    void accumulateHeat();
 
     NodeId id_;
     const SimConfig& cfg_;
     const RoutingAlgorithm& algo_;
     RouterStats* stats_;
     Auditor* audit_ = nullptr;
+    Tracer* trace_ = nullptr;
     Rng rng_;
 
     PortId networkPorts_;
@@ -302,6 +327,12 @@ class Router
 
     /** Output ports already used this cycle (kills, switch winners). */
     std::vector<bool> outPortBusy_;
+
+    /** Heat counters (empty unless setHeatTracking(true)). */
+    bool heatTracking_ = false;
+    std::vector<std::uint64_t> heatForwarded_;  //!< Per output port.
+    std::vector<std::uint64_t> heatBlocked_;    //!< Per input port.
+    std::uint64_t heatOccupancy_ = 0;
 
     /** Current cycle (set at tick entry; used by helpers). */
     Cycle now_ = 0;

@@ -184,6 +184,12 @@ SimConfig::set(const std::string& key, const std::string& value)
     else if (key == "burst_len") burstLen = parseU64(key, value);
     else if (key == "burst_rate") burstRate = parseF64(key, value);
     else if (key == "fault_scenario") faultScenario = value;
+    else if (key == "trace") traceFile = value;
+    else if (key == "watch") watchSpec = value;
+    else if (key == "sample_interval") sampleInterval =
+        parseU64(key, value);
+    else if (key == "heatmap") heatmapEnabled =
+        parseU64(key, value) != 0;
     else if (key == "jobs") jobs =
         static_cast<std::uint32_t>(parseU64(key, value));
     else if (key == "seed") seed = parseU64(key, value);

@@ -147,6 +147,32 @@ struct SimConfig
     /** True when any dynamic-fault machinery must be armed. */
     bool hasDynamicFaults() const;
 
+    // --- Observability (see docs/OBSERVABILITY.md) ------------------
+    /**
+     * Worm-event trace output prefix; the tracer writes
+     * `<prefix>.jsonl` and `<prefix>.json` (Chrome trace-event
+     * format). "" = disabled, unless the CRNET_TRACE environment
+     * variable enables it ("1" = default prefix, other values name
+     * the prefix). Batch engines suffix `_run<i>` per run.
+     */
+    std::string traceFile;
+    /**
+     * Trace watch list: comma-separated message ids and/or
+     * `<src>-<dst>` node pairs; "" records every event.
+     */
+    std::string watchSpec;
+    /**
+     * Cycles between time-series samples (throughput, latency, kills,
+     * fault events, in-flight worms). 0 = no time series.
+     */
+    Cycle sampleInterval = 0;
+    /**
+     * Collect per-router/per-channel heat counters (occupancy
+     * integral, blocked cycles, forwarded flits) into
+     * RunResult::heatmap.
+     */
+    bool heatmapEnabled = false;
+
     // --- Experiment ---------------------------------------------------
     std::uint64_t seed = 1;
     /**

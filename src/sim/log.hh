@@ -8,13 +8,22 @@
  *            configuration, impossible parameter combination). Exits(1).
  * warn()   — something is suspicious but the simulation can proceed.
  * inform() — plain status output.
+ *
+ * warn() and inform() are thread-safe: the message is formatted
+ * first, then written under a process-wide mutex, so concurrent
+ * parallel-engine jobs never interleave mid-line. When a job runs
+ * under a LogRunScope (the parallel engine installs one per run),
+ * messages are prefixed with "[run N]" so output from jobs=N batches
+ * can be attributed.
  */
 
 #ifndef CRNET_SIM_LOG_HH
 #define CRNET_SIM_LOG_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -35,7 +44,55 @@ concat(Args&&... args)
     return os.str();
 }
 
+/** Process-wide mutex serializing warn()/inform() writes. */
+inline std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Current run id of this thread, or -1 outside any LogRunScope. */
+inline std::int64_t&
+logRunId()
+{
+    thread_local std::int64_t id = -1;
+    return id;
+}
+
+/** "[run N] " when a run scope is active, "" otherwise. */
+inline std::string
+logPrefix()
+{
+    const std::int64_t id = logRunId();
+    if (id < 0)
+        return "";
+    return "[run " + std::to_string(id) + "] ";
+}
+
 } // namespace detail
+
+/**
+ * RAII tag marking this thread as executing batch run `id`; warn()
+ * and inform() prefix their messages with it. The parallel engine
+ * wraps every job in one. Scopes nest (restore on destruction).
+ */
+class LogRunScope
+{
+  public:
+    explicit LogRunScope(std::int64_t id)
+        : prev_(detail::logRunId())
+    {
+        detail::logRunId() = id;
+    }
+    ~LogRunScope() { detail::logRunId() = prev_; }
+
+    LogRunScope(const LogRunScope&) = delete;
+    LogRunScope& operator=(const LogRunScope&) = delete;
+
+  private:
+    std::int64_t prev_;
+};
 
 /** Abort with a message; use for violated internal invariants. */
 template <typename... Args>
@@ -57,22 +114,28 @@ fatal(Args&&... args)
     std::exit(1);
 }
 
-/** Non-fatal warning. */
+/** Non-fatal warning (thread-safe). */
 template <typename... Args>
 void
 warn(Args&&... args)
 {
-    std::fprintf(stderr, "warn: %s\n",
-                 detail::concat(std::forward<Args>(args)...).c_str());
+    const std::string msg =
+        detail::concat(std::forward<Args>(args)...);
+    const std::string prefix = detail::logPrefix();
+    std::lock_guard<std::mutex> lock(detail::logMutex());
+    std::fprintf(stderr, "warn: %s%s\n", prefix.c_str(), msg.c_str());
 }
 
-/** Status output. */
+/** Status output (thread-safe). */
 template <typename... Args>
 void
 inform(Args&&... args)
 {
-    std::fprintf(stdout, "info: %s\n",
-                 detail::concat(std::forward<Args>(args)...).c_str());
+    const std::string msg =
+        detail::concat(std::forward<Args>(args)...);
+    const std::string prefix = detail::logPrefix();
+    std::lock_guard<std::mutex> lock(detail::logMutex());
+    std::fprintf(stdout, "info: %s%s\n", prefix.c_str(), msg.c_str());
 }
 
 } // namespace crnet

@@ -26,11 +26,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/sim/log.hh"
 
 namespace crnet {
 
@@ -93,6 +96,10 @@ class ThreadPool
  * loop runs inline on the calling thread. Returns when all items are
  * done. `fn` must confine its writes to per-index state (e.g.
  * `out[i] = ...`) for the deterministic-collection guarantee to hold.
+ *
+ * Every item runs under a LogRunScope tagging warn()/inform() output
+ * with its index — in the inline path too, so jobs=1 and jobs=N
+ * produce identical log lines for the same item.
  */
 template <typename Fn>
 void
@@ -103,13 +110,19 @@ parallelFor(std::size_t n, unsigned jobs, Fn&& fn)
     const auto width = static_cast<unsigned>(
         std::min<std::size_t>(jobs, n));
     if (width <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            LogRunScope scope(static_cast<std::int64_t>(i));
             fn(i);
+        }
         return;
     }
     ThreadPool pool(width);
-    for (std::size_t i = 0; i < n; ++i)
-        pool.submit([&fn, i] { fn(i); });
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&fn, i] {
+            LogRunScope scope(static_cast<std::int64_t>(i));
+            fn(i);
+        });
+    }
     pool.wait();
 }
 

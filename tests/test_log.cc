@@ -3,6 +3,9 @@
  * Tests for the error-reporting helpers (gem5-style panic/fatal).
  */
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/sim/log.hh"
@@ -33,6 +36,39 @@ TEST(Log, WarnAndInformDoNotTerminate)
 {
     warn("just a warning ", 1);
     inform("status ", 2);
+    SUCCEED();
+}
+
+TEST(Log, RunScopePrefixesAndRestores)
+{
+    EXPECT_EQ(detail::logPrefix(), "");
+    {
+        LogRunScope outer(3);
+        EXPECT_EQ(detail::logPrefix(), "[run 3] ");
+        {
+            LogRunScope inner(7);
+            EXPECT_EQ(detail::logPrefix(), "[run 7] ");
+        }
+        EXPECT_EQ(detail::logPrefix(), "[run 3] ");
+    }
+    EXPECT_EQ(detail::logPrefix(), "");
+}
+
+TEST(Log, WarnIsSafeUnderConcurrency)
+{
+    // Format-then-lock: concurrent warns never interleave mid-line.
+    // This just exercises the path from several threads under TSan/
+    // ASan builds; the output itself goes to stderr.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            LogRunScope scope(t);
+            for (int i = 0; i < 20; ++i)
+                warn("thread ", t, " line ", i);
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
     SUCCEED();
 }
 

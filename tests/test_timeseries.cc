@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the interval time series, the heatmap export, and the
+ * latency-histogram saturation flag: delta sampling against cumulative
+ * counters, end-to-end sampling through runExperiment, CSV shapes,
+ * and jobs=N determinism of the collected samples.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hh"
+#include "src/core/network.hh"
+#include "src/core/timeseries.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+smallTorus()
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 2;
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.10;
+    cfg.messageLength = 8;
+    cfg.timeout = 8;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 400;
+    cfg.drainCycles = 5000;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(TimeSeries, SamplesAreDeltasOfCumulativeCounters)
+{
+    NetworkStats stats;
+    TimeSeries ts(100);
+
+    stats.messagesDelivered.inc(10);
+    stats.measuredPayloadFlits.inc(80);
+    stats.sourceKills.inc(3);
+    stats.router.pathWideKills.inc(1);
+    stats.totalLatency.add(50.0);
+    stats.totalLatency.add(70.0);
+    ts.sample(100, stats, 5, 17);
+
+    stats.messagesDelivered.inc(4);
+    stats.sourceKills.inc(2);
+    stats.faultEventsApplied.inc(1);
+    stats.totalLatency.add(90.0);
+    ts.sample(200, stats, 2, 3);
+
+    ASSERT_EQ(ts.samples().size(), 2u);
+    const TimeSeriesSample& a = ts.samples()[0];
+    EXPECT_EQ(a.at, 100u);
+    EXPECT_EQ(a.delivered, 10u);
+    EXPECT_EQ(a.payloadFlits, 80u);
+    EXPECT_EQ(a.kills, 4u);
+    EXPECT_DOUBLE_EQ(a.meanLatency, 60.0);
+    EXPECT_EQ(a.inFlightWorms, 5u);
+    EXPECT_EQ(a.bufferedFlits, 17u);
+
+    const TimeSeriesSample& b = ts.samples()[1];
+    EXPECT_EQ(b.delivered, 4u);   // Not 14: interval delta.
+    EXPECT_EQ(b.payloadFlits, 0u);
+    EXPECT_EQ(b.kills, 2u);
+    EXPECT_EQ(b.faultEvents, 1u);
+    EXPECT_DOUBLE_EQ(b.meanLatency, 90.0);
+    EXPECT_EQ(b.inFlightWorms, 2u);
+}
+
+TEST(TimeSeries, ExperimentCollectsSamplesThatSumToTotals)
+{
+    SimConfig cfg = smallTorus();
+    cfg.sampleInterval = 100;
+    const RunResult r = runExperiment(cfg);
+
+    ASSERT_FALSE(r.timeseries.empty());
+    // One sample each `interval` cycles over the whole run.
+    EXPECT_EQ(r.timeseries.size(), r.cyclesRun / cfg.sampleInterval);
+    std::uint64_t delivered = 0;
+    for (std::size_t i = 0; i < r.timeseries.size(); ++i) {
+        EXPECT_EQ(r.timeseries[i].at,
+                  (i + 1) * cfg.sampleInterval);
+        delivered += r.timeseries[i].delivered;
+    }
+    // Interval deltas re-sum to at least every measured delivery
+    // (warmup/drain deliveries count too, so >=).
+    EXPECT_GE(delivered, r.deliveredMeasured);
+}
+
+TEST(TimeSeries, DisabledByDefault)
+{
+    const RunResult r = runExperiment(smallTorus());
+    EXPECT_TRUE(r.timeseries.empty());
+    EXPECT_EQ(r.heatmap, nullptr);
+}
+
+TEST(TimeSeries, SamplesAreIdenticalAcrossJobs)
+{
+    SimConfig base = smallTorus();
+    base.sampleInterval = 50;
+    auto batch = [&](unsigned jobs) {
+        std::vector<SimConfig> points(4, base);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i].seed = base.seed + i;
+            points[i].jobs = jobs;
+        }
+        return runMany(points);
+    };
+    const std::vector<RunResult> seq = batch(1);
+    const std::vector<RunResult> par = batch(4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_FALSE(seq[i].timeseries.empty());
+        EXPECT_EQ(seq[i].timeseries, par[i].timeseries) << "run " << i;
+    }
+}
+
+TEST(TimeSeries, CsvHasHeaderAndOneRowPerSample)
+{
+    std::vector<TimeSeriesSample> samples(3);
+    samples[0].at = 100;
+    samples[1].at = 200;
+    samples[2].at = 300;
+    std::ostringstream os;
+    writeTimeSeriesCsv(os, samples);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("cycle,delivered,payload_flits,mean_latency,"
+                       "kills,retransmits,fault_events,inflight_worms,"
+                       "buffered_flits"),
+              std::string::npos);
+    std::istringstream lines(csv);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line))
+        if (!line.empty())
+            ++rows;
+    EXPECT_EQ(rows, 1u + samples.size());
+}
+
+TEST(Heatmap, ExperimentCollectsPerPortCounters)
+{
+    SimConfig cfg = smallTorus();
+    cfg.heatmapEnabled = true;
+    const RunResult r = runExperiment(cfg);
+
+    ASSERT_NE(r.heatmap, nullptr);
+    const HeatmapData& h = *r.heatmap;
+    const std::size_t nodes = 16;
+    EXPECT_EQ(h.radixK, 4u);
+    EXPECT_EQ(h.netPorts, 4u);  // 2 dims x 2 directions.
+    EXPECT_EQ(h.cycles, r.cyclesRun);
+    ASSERT_EQ(h.occupancyIntegral.size(), nodes);
+    ASSERT_EQ(h.forwarded.size(), nodes * h.netPorts);
+    ASSERT_EQ(h.blockedCycles.size(), nodes * h.netPorts);
+
+    // Traffic flowed, so some channel forwarded flits and some buffer
+    // was occupied at some point.
+    std::uint64_t fwd = 0, occ = 0;
+    for (std::uint64_t v : h.forwarded)
+        fwd += v;
+    for (std::uint64_t v : h.occupancyIntegral)
+        occ += v;
+    EXPECT_GT(fwd, 0u);
+    EXPECT_GT(occ, 0u);
+
+    std::ostringstream os;
+    writeHeatmapCsv(os, h);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("node,x,y,occ_integral,blocked_cycles,fwd_p0,"
+                       "blk_p0"),
+              std::string::npos);
+    std::istringstream lines(csv);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line))
+        if (!line.empty())
+            ++rows;
+    EXPECT_EQ(rows, 1u + nodes);
+}
+
+TEST(Heatmap, RouterCountersAreZeroSizedWhenDisabled)
+{
+    SimConfig cfg = smallTorus();
+    Network net(cfg);
+    net.run(50);
+    EXPECT_EQ(net.router(0).heatForwarded(0), 0u);
+    EXPECT_EQ(net.router(0).heatBlocked(0), 0u);
+    EXPECT_EQ(net.router(0).heatOccupancyIntegral(), 0u);
+    EXPECT_EQ(net.collectHeatmap(), nullptr);
+}
+
+TEST(LatencyOverflow, PlumbedFromHistogramToRunResult)
+{
+    // A fault-free short run never saturates the histogram.
+    const RunResult r = runExperiment(smallTorus());
+    EXPECT_EQ(r.latencyOverflow, 0u);
+}
+
+} // namespace
+} // namespace crnet

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the worm-lifecycle event tracer: golden event sequence on
+ * a deterministic two-node run, the watch filter, the inert disabled
+ * path, output-file formats, and jobs=N batch bit-identity.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hh"
+#include "src/core/network.hh"
+#include "src/sim/trace.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+twoNodeRingCr()
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.radixK = 2;
+    cfg.dimensionsN = 1;
+    cfg.numVcs = 1;
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.injectionRate = 0.0;
+    return cfg;
+}
+
+std::string
+tmpPrefix(const std::string& name)
+{
+    return ::testing::TempDir() + "crnet_" + name;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Run one explicit message to completion, return the trace events. */
+std::vector<TraceEvent>
+traceOneMessage(const std::string& prefix)
+{
+    SimConfig cfg = twoNodeRingCr();
+    cfg.traceFile = prefix;
+    Network net(cfg);
+    net.setTrafficEnabled(false);
+    const MsgId id = net.sendMessage(0, 1, 4);
+    EXPECT_NE(id, kInvalidMsg);
+    for (Cycle i = 0; i < 200 && !net.isDelivered(id); ++i)
+        net.tick();
+    EXPECT_TRUE(net.isDelivered(id));
+    net.tracer()->flush();
+    return net.tracer()->events();
+}
+
+TEST(Trace, GoldenTwoNodeEventSequence)
+{
+    const std::vector<TraceEvent> ev =
+        traceOneMessage(tmpPrefix("golden"));
+
+    // The fault-free single-worm lifecycle is exactly: injection at
+    // the source, a header allocation at each of the two routers
+    // (source, then destination), the tail leaving the source (CR
+    // commit), and the delivery. Any change here is a protocol-
+    // visible behavior change, not a tracing change.
+    const std::vector<std::pair<TraceEventKind, NodeId>> expected = {
+        {TraceEventKind::Inject, 0},
+        {TraceEventKind::HeadAdvance, 0},
+        {TraceEventKind::HeadAdvance, 1},
+        {TraceEventKind::Commit, 0},
+        {TraceEventKind::Deliver, 1},
+    };
+    ASSERT_EQ(ev.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(ev[i].kind, expected[i].first) << "event " << i;
+        EXPECT_EQ(ev[i].node, expected[i].second) << "event " << i;
+    }
+
+    // Timestamps are monotone and the span is causally ordered.
+    for (std::size_t i = 1; i < ev.size(); ++i)
+        EXPECT_GE(ev[i].at, ev[i - 1].at);
+    EXPECT_EQ(ev.front().src, 0u);
+    EXPECT_EQ(ev.front().dst, 1u);
+    EXPECT_GT(ev.back().arg, 0u);  // Deliver carries the latency.
+}
+
+TEST(Trace, JsonlAndChromeFilesAreWellFormed)
+{
+    const std::string prefix = tmpPrefix("files");
+    const std::vector<TraceEvent> ev = traceOneMessage(prefix);
+
+    const std::string jsonl = slurp(prefix + ".jsonl");
+    ASSERT_FALSE(jsonl.empty());
+    // One line per event, each a JSON object with the event name.
+    std::istringstream lines(jsonl);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"ev\":"), std::string::npos);
+        ++count;
+    }
+    EXPECT_EQ(count, ev.size());
+    EXPECT_NE(jsonl.find("\"ev\":\"inject\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"ev\":\"deliver\""), std::string::npos);
+
+    const std::string chrome = slurp(prefix + ".json");
+    ASSERT_FALSE(chrome.empty());
+    EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+    // Instant events plus one closed async span for the message.
+    EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"ph\":\"e\""), std::string::npos);
+
+    std::remove((prefix + ".jsonl").c_str());
+    std::remove((prefix + ".json").c_str());
+}
+
+TEST(Trace, DisabledTracerIsInert)
+{
+    Tracer t("", "");
+    t.beginCycle(5);
+    t.record(TraceEventKind::Inject, 1, 0, 0, 1, 0);
+    t.record(TraceEventKind::Deliver, 1, 1, 0, 1, 0, 9);
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_EQ(t.events().capacity(), 0u);  // Never allocated.
+    EXPECT_FALSE(t.wants(1, 0, 1));
+}
+
+TEST(Trace, UntracedNetworkHasNullTracer)
+{
+    SimConfig cfg = twoNodeRingCr();
+    Network net(cfg);
+    EXPECT_EQ(net.tracer(), nullptr);
+}
+
+TEST(Trace, WatchFilterByMessageId)
+{
+    Tracer t(tmpPrefix("watch_msg"), "7,9");
+    EXPECT_TRUE(t.wants(7, kInvalidNode, kInvalidNode));
+    EXPECT_TRUE(t.wants(9, 3, 4));
+    EXPECT_FALSE(t.wants(8, 3, 4));
+    t.record(TraceEventKind::Inject, 7, 0, 0, 1, 0);
+    t.record(TraceEventKind::Inject, 8, 0, 0, 1, 0);
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.events()[0].msg, 7u);
+}
+
+TEST(Trace, WatchPairAdoptsMessageId)
+{
+    Tracer t(tmpPrefix("watch_pair"), "2-5");
+    // A (src,dst) match adopts the message id...
+    t.record(TraceEventKind::Inject, 42, 2, 2, 5, 0);
+    // ...so later events with no src/dst (kill tokens) still match.
+    t.record(TraceEventKind::KillHop, 42, 3, kInvalidNode,
+             kInvalidNode, 0, 1);
+    // Other traffic stays filtered out.
+    t.record(TraceEventKind::Inject, 43, 0, 0, 1, 0);
+    ASSERT_EQ(t.events().size(), 2u);
+    EXPECT_EQ(t.events()[0].msg, 42u);
+    EXPECT_EQ(t.events()[1].kind, TraceEventKind::KillHop);
+}
+
+TEST(Trace, BatchRunsAreBitIdenticalAcrossJobs)
+{
+    SimConfig base;
+    base.topology = TopologyKind::Torus;
+    base.radixK = 4;
+    base.dimensionsN = 2;
+    base.numVcs = 2;
+    base.bufferDepth = 2;
+    base.routing = RoutingKind::MinimalAdaptive;
+    base.protocol = ProtocolKind::Cr;
+    base.injectionRate = 0.10;
+    base.messageLength = 8;
+    base.timeout = 8;
+    base.warmupCycles = 100;
+    base.measureCycles = 300;
+    base.drainCycles = 5000;
+    base.seed = 7;
+
+    auto runBatch = [&](const std::string& prefix, unsigned jobs) {
+        std::vector<SimConfig> points(4, base);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i].seed = base.seed + i;
+            points[i].traceFile = prefix;
+            points[i].jobs = jobs;
+        }
+        runMany(points);
+        std::vector<std::string> files;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            files.push_back(
+                slurp(prefix + "_run" + std::to_string(i) + ".jsonl"));
+            files.push_back(
+                slurp(prefix + "_run" + std::to_string(i) + ".json"));
+        }
+        return files;
+    };
+
+    const auto seq = runBatch(tmpPrefix("seq"), 1);
+    const auto par = runBatch(tmpPrefix("par"), 4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_FALSE(seq[i].empty()) << "file " << i;
+        EXPECT_EQ(seq[i], par[i]) << "file " << i;
+    }
+}
+
+} // namespace
+} // namespace crnet

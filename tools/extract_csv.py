@@ -65,6 +65,18 @@ def main():
             with open(path, "w", encoding="utf-8") as out:
                 out.write(block)
             written += 1
+        # Interval-sampled telemetry (`timeseries:`) and channel-heat
+        # snapshots (`heatmap:`) — see docs/OBSERVABILITY.md.
+        for n, block in enumerate(csv_blocks(body, "timeseries:")):
+            path = os.path.join(outdir, f"{safe}__ts{n:02d}.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(block)
+            written += 1
+        for n, block in enumerate(csv_blocks(body, "heatmap:")):
+            path = os.path.join(outdir, f"{safe}__heatmap{n:02d}.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(block)
+            written += 1
     print(f"wrote {written} CSV files to {outdir}/")
 
 
