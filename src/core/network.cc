@@ -1,5 +1,6 @@
 #include "src/core/network.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -10,6 +11,16 @@
 #include "src/sim/trace.hh"
 
 namespace crnet {
+
+namespace {
+
+/**
+ * How often (in cycles, a power of two) a busy router is probed with
+ * idle() so it can leave the active set. See sweepActive().
+ */
+constexpr Cycle kIdleProbePeriod = 8;
+
+} // namespace
 
 void
 Network::Wave::clear()
@@ -32,7 +43,18 @@ Network::Wave::empty() const
 Network::Network(const SimConfig& cfg) : cfg_(cfg)
 {
     cfg_.validate();
-    buckets_.resize(cfg_.channelLatency + 2);
+    activeSched_ = cfg_.sched == SchedulerKind::Active;
+    // Events mature at most channelLatency cycles out (+1 for "next
+    // cycle" staging, +1 because the current bucket is in use); round
+    // the bucket count up to a power of two so waveIn()/deliver()
+    // index with a mask instead of a division. The extra buckets stay
+    // empty and cost nothing.
+    std::size_t bucket_count = 1;
+    while (bucket_count <
+           static_cast<std::size_t>(cfg_.channelLatency) + 2)
+        bucket_count <<= 1;
+    bucketMask_ = bucket_count - 1;
+    buckets_.resize(bucket_count);
     Rng root(cfg_.seed);
 
     topo_ = makeTopology(cfg_);
@@ -57,6 +79,36 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
         receivers_.push_back(std::make_unique<Receiver>(
             id, cfg_, n, &stats_, this));
     }
+
+    // Pre-size the hot-path containers so the steady state never
+    // allocates: each wave can hold one event per node on its
+    // bandwidth-limited kinds (kill/abort traffic is rare and may
+    // grow once, then keeps its capacity).
+    for (Wave& w : buckets_) {
+        w.flits.reserve(n);
+        w.recvFlits.reserve(n);
+        w.credits.reserve(n);
+        w.injCredits.reserve(n);
+        w.bkills.reserve(16);
+        w.aborts.reserve(16);
+    }
+    injAwake_.assign(n, 0);
+    rtrAwake_.assign(n, 0);
+    rcvAwake_.assign(n, 0);
+    injNextAt_.assign(n, kNeverCycle);
+    rcvNextAt_.assign(n, kNeverCycle);
+    {
+        std::vector<std::pair<Cycle, NodeId>> heap_store;
+        heap_store.reserve(n);
+        injDeadlines_ =
+            DeadlineHeap(std::greater<>{}, std::move(heap_store));
+        std::vector<std::pair<Cycle, NodeId>> heap_store2;
+        heap_store2.reserve(n);
+        rcvDeadlines_ =
+            DeadlineHeap(std::greater<>{}, std::move(heap_store2));
+    }
+    // Everything starts asleep: at cycle 0 every component is idle,
+    // and generate()/sendMessage()/deliver() wake whoever gets work.
 
     // The schedule fork happens last and only when configured, so
     // fault-free runs keep exactly the RNG streams they had before
@@ -103,14 +155,83 @@ Network::~Network() = default;
 Network::Wave&
 Network::waveIn(Cycle delay)
 {
-    return buckets_[(now_ + delay) % buckets_.size()];
+    return buckets_[(now_ + delay) & bucketMask_];
+}
+
+void
+Network::wakeInjector(NodeId id)
+{
+    injAwake_[id] = 1;
+}
+
+void
+Network::wakeRouter(NodeId id)
+{
+    rtrAwake_[id] = 1;
+}
+
+void
+Network::wakeReceiver(NodeId id)
+{
+    rcvAwake_[id] = 1;
+}
+
+void
+Network::scheduleInjector(NodeId id, Cycle at)
+{
+    if (at == kNeverCycle)
+        return;
+    if (at <= now_ + 1) {
+        wakeInjector(id);
+        return;
+    }
+    if (at >= injNextAt_[id])
+        return;  // An earlier-or-equal deadline is already queued.
+    injNextAt_[id] = at;
+    injDeadlines_.push({at, id});
+}
+
+void
+Network::scheduleReceiver(NodeId id, Cycle at)
+{
+    if (at == kNeverCycle)
+        return;
+    if (at <= now_ + 1) {
+        wakeReceiver(id);
+        return;
+    }
+    if (at >= rcvNextAt_[id])
+        return;
+    rcvNextAt_[id] = at;
+    rcvDeadlines_.push({at, id});
+}
+
+void
+Network::popDueDeadlines()
+{
+    while (!injDeadlines_.empty() &&
+           injDeadlines_.top().first <= now_) {
+        const NodeId id = injDeadlines_.top().second;
+        if (injNextAt_[id] == injDeadlines_.top().first)
+            injNextAt_[id] = kNeverCycle;
+        injDeadlines_.pop();
+        wakeInjector(id);  // Stale entries = harmless no-op ticks.
+    }
+    while (!rcvDeadlines_.empty() &&
+           rcvDeadlines_.top().first <= now_) {
+        const NodeId id = rcvDeadlines_.top().second;
+        if (rcvNextAt_[id] == rcvDeadlines_.top().first)
+            rcvNextAt_[id] = kNeverCycle;
+        rcvDeadlines_.pop();
+        wakeReceiver(id);
+    }
 }
 
 void
 Network::deliver()
 {
     const PortId net_ports = routers_[0]->networkPorts();
-    Wave& cur = buckets_[now_ % buckets_.size()];
+    Wave& cur = buckets_[now_ & bucketMask_];
     for (PendingFlit& p : cur.flits) {
         if (dynamicFaults_ && p.networkHop) {
             // A flit in flight on a channel that died under it is
@@ -138,9 +259,12 @@ Network::deliver()
         if (p.networkHop && p.flit.isData())
             faults_->maybeCorrupt(p.flit);
         routers_[p.node]->acceptFlit(p.inPort, p.vc, p.flit);
+        wakeRouter(p.node);
     }
-    for (const PendingRecvFlit& p : cur.recvFlits)
+    for (const PendingRecvFlit& p : cur.recvFlits) {
         receivers_[p.node]->acceptFlit(p.ejChannel, p.vc, p.flit);
+        wakeReceiver(p.node);
+    }
     for (const PendingCredit& p : cur.credits) {
         if (dynamicFaults_ && p.outPort < net_ports &&
             !faults_->linkOk(p.node, p.outPort)) {
@@ -148,9 +272,12 @@ Network::deliver()
             continue;
         }
         routers_[p.node]->acceptCredit(p.outPort, p.vc);
+        wakeRouter(p.node);
     }
-    for (const PendingInjCredit& p : cur.injCredits)
+    for (const PendingInjCredit& p : cur.injCredits) {
         injectors_[p.node]->acceptCredit(p.injChannel, p.vc);
+        wakeInjector(p.node);
+    }
     for (const PendingBkill& p : cur.bkills) {
         if (dynamicFaults_ && p.outPort < net_ports &&
             !faults_->linkOk(p.node, p.outPort)) {
@@ -158,9 +285,12 @@ Network::deliver()
             continue;
         }
         routers_[p.node]->acceptBkill(p.outPort, p.vc);
+        wakeRouter(p.node);
     }
-    for (const PendingAbort& p : cur.aborts)
+    for (const PendingAbort& p : cur.aborts) {
         injectors_[p.node]->acceptAbort(p.injChannel, p.vc, p.msg);
+        wakeInjector(p.node);
+    }
     cur.clear();
 }
 
@@ -168,9 +298,12 @@ void
 Network::teardownDirectedLink(NodeId u, PortId p)
 {
     routers_[u]->onOutputLinkDead(p, now_);
+    wakeRouter(u);
     const NodeId d = topo_->neighbor(u, p);
-    if (d != kInvalidNode)
+    if (d != kInvalidNode) {
         routers_[d]->onInputLinkDead(oppositePort(p), now_);
+        wakeRouter(d);
+    }
 }
 
 void
@@ -178,6 +311,7 @@ Network::repairDirectedLink(NodeId u, PortId p)
 {
     faults_->reviveDirectedLink(u, p);
     routers_[u]->onOutputLinkRepaired(p, now_);
+    wakeRouter(u);
 }
 
 void
@@ -284,6 +418,7 @@ Network::generate()
         const PendingMessage msg =
             generator_->makeFor(src, now_, measuring_);
         injectors_[src]->enqueue(msg);
+        wakeInjector(src);
         stats_.messagesGenerated.inc();
         if (ledger_ != nullptr)
             ledger_->onAccepted(msg);
@@ -389,16 +524,8 @@ Network::activityLevel() const
 }
 
 void
-Network::tick()
+Network::sweepAll()
 {
-    CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
-    if (trace_ != nullptr)
-        trace_->beginCycle(now_);
-    if (dynamicFaults_ && schedule_ != nullptr)
-        applyFaultEvents();
-    deliver();
-    generate();
-
     const NodeId n = topo_->numNodes();
     for (NodeId id = 0; id < n; ++id) {
         injectors_[id]->tick(now_);
@@ -412,6 +539,72 @@ Network::tick()
         receivers_[id]->tick(now_);
         collectReceiver(id);
     }
+}
+
+void
+Network::sweepActive()
+{
+    // A component's flag is cleared before its tick; the only wake a
+    // tick can raise is its own re-registration (all cross-component
+    // wakes happen at delivery time, next cycle), so clearing in
+    // place is safe and the node-order scan matches the exhaustive
+    // sweep's tick order exactly. Sleeping components contribute
+    // nothing in either mode — ticking an idle component is a no-op.
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        if (injAwake_[id] == 0)
+            continue;
+        injAwake_[id] = 0;
+        injectors_[id]->tick(now_);
+        collectInjector(id);
+        scheduleInjector(id, injectors_[id]->nextEventCycle(now_));
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        if (rtrAwake_[id] == 0)
+            continue;
+        rtrAwake_[id] = 0;
+        routers_[id]->tick(now_);
+        collectRouter(id);
+        // Routers have no future-only deadlines: any held flit,
+        // allocation or pending kill needs the very next tick, so a
+        // ticked router is assumed still busy. Probing idle() every
+        // cycle would re-scan every input VC and cost more than the
+        // skipped ticks save; instead busy routers are only probed
+        // for sleep on coarse boundaries (over-waking is harmless —
+        // a router lingers awake for at most kIdleProbePeriod - 1
+        // no-op ticks after its last flit leaves).
+        if ((now_ & (kIdleProbePeriod - 1)) != 0 ||
+            !routers_[id]->idle()) {
+            rtrAwake_[id] = 1;
+        }
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        if (rcvAwake_[id] == 0)
+            continue;
+        rcvAwake_[id] = 0;
+        receivers_[id]->tick(now_);
+        collectReceiver(id);
+        scheduleReceiver(id, receivers_[id]->nextEventCycle(now_));
+    }
+}
+
+void
+Network::tick()
+{
+    CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
+    if (trace_ != nullptr)
+        trace_->beginCycle(now_);
+    if (dynamicFaults_ && schedule_ != nullptr)
+        applyFaultEvents();
+    if (activeSched_)
+        popDueDeadlines();
+    deliver();
+    generate();
+
+    if (activeSched_)
+        sweepActive();
+    else
+        sweepAll();
 
     const std::uint64_t level = activityLevel();
     if (level != lastActivityLevel_) {
@@ -442,10 +635,26 @@ Network::takeSample()
     std::uint64_t in_flight = 0;
     std::uint64_t buffered = 0;
     const NodeId n = topo_->numNodes();
-    for (NodeId id = 0; id < n; ++id) {
-        in_flight += injectors_[id]->activeWorms();
-        buffered += routers_[id]->bufferedFlits();
-        buffered += receivers_[id]->bufferedFlits();
+    if (activeSched_) {
+        // Post-sweep, the wake flags mark every component re-armed
+        // for the next cycle — which covers every nonzero gauge: a
+        // sleeping injector has no active worm, and sleeping
+        // routers/receivers buffer nothing (buffered flits always
+        // demand the next tick).
+        for (NodeId id = 0; id < n; ++id) {
+            if (injAwake_[id] != 0)
+                in_flight += injectors_[id]->activeWorms();
+            if (rtrAwake_[id] != 0)
+                buffered += routers_[id]->bufferedFlits();
+            if (rcvAwake_[id] != 0)
+                buffered += receivers_[id]->bufferedFlits();
+        }
+    } else {
+        for (NodeId id = 0; id < n; ++id) {
+            in_flight += injectors_[id]->activeWorms();
+            buffered += routers_[id]->bufferedFlits();
+            buffered += receivers_[id]->bufferedFlits();
+        }
     }
     timeseries_->sample(now_ + 1, stats_, in_flight, buffered);
 }
@@ -670,6 +879,7 @@ Network::sendMessage(NodeId src, NodeId dst, std::uint32_t payload_len,
     PendingMessage m = generator_->makeMessage(src, dst, payload_len,
                                                now_, measured);
     injectors_[src]->enqueue(m);
+    wakeInjector(src);
     stats_.messagesGenerated.inc();
     if (ledger_ != nullptr)
         ledger_->onAccepted(m);

@@ -14,8 +14,11 @@
 #define CRNET_CORE_NETWORK_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/metrics.hh"
@@ -229,6 +232,39 @@ class Network : public DeliverySink, public MessageFailureSink
     void collectReceiver(NodeId n);
     std::uint64_t activityLevel() const;
 
+    // --- Active-set scheduling (see docs/PERFORMANCE.md) -----------
+    //
+    // Under SchedulerKind::Active only components with work are
+    // ticked: anything receiving a delivery, a new message or a fault
+    // teardown is woken for the same cycle, and components whose next
+    // state change is a known future deadline (cooldown exit, backoff
+    // expiry, starvation-check boundary) sleep on a deadline heap
+    // until then. Ticking an idle component is a provable no-op, so
+    // over-waking is always safe; the wake rules below never
+    // under-wake, which is what keeps the two schedulers
+    // bit-identical.
+
+    /** Tick every component (SchedulerKind::Sweep). */
+    void sweepAll();
+
+    /** Tick this cycle's woken components, then re-register them. */
+    void sweepActive();
+
+    /** Queue a component for this cycle's sweep (idempotent). */
+    void wakeInjector(NodeId id);
+    void wakeRouter(NodeId id);
+    void wakeReceiver(NodeId id);
+
+    /**
+     * Sleep a component until `at` (kNeverCycle = fully idle;
+     * now_ + 1 or earlier = stay in the wake list).
+     */
+    void scheduleInjector(NodeId id, Cycle at);
+    void scheduleReceiver(NodeId id, Cycle at);
+
+    /** Wake every component whose deadline is due at now_. */
+    void popDueDeadlines();
+
     void applyFaultEvents();
     void applyOneFaultEvent(const FaultEvent& ev);
     /** Kill one directed channel's stranded worm state on both ends. */
@@ -258,11 +294,30 @@ class Network : public DeliverySink, public MessageFailureSink
     std::vector<std::unique_ptr<Receiver>> receivers_;
 
     /**
-     * Delivery buckets, indexed by cycle modulo size. Router-to-
-     * router events mature after channelLatency cycles; NIC-local
-     * events after one.
+     * Delivery buckets, indexed by cycle modulo size (a power of two,
+     * so the hot index computation is a mask, not a division).
+     * Router-to-router events mature after channelLatency cycles;
+     * NIC-local events after one.
      */
     std::vector<Wave> buckets_;
+    std::size_t bucketMask_ = 0;
+
+    // Active-set scheduler state. A wake is one byte store; the sweep
+    // scans the flag arrays in node order, which keeps the tick order
+    // — and with it every wave, arbitration and RNG interleaving —
+    // identical to the exhaustive sweep (the scan is a few hundred
+    // predictable byte loads, far cheaper than maintaining sorted
+    // wake lists). The deadline heaps hold sleeping components' next
+    // event cycles, deduplicated through the per-component `nextAt`
+    // arrays (stale entries pop as harmless spurious wakes).
+    using DeadlineHeap =
+        std::priority_queue<std::pair<Cycle, NodeId>,
+                            std::vector<std::pair<Cycle, NodeId>>,
+                            std::greater<>>;
+    bool activeSched_ = true;
+    std::vector<std::uint8_t> injAwake_, rtrAwake_, rcvAwake_;
+    DeadlineHeap injDeadlines_, rcvDeadlines_;
+    std::vector<Cycle> injNextAt_, rcvNextAt_;
 
     Cycle now_ = 0;
     bool trafficEnabled_ = true;

@@ -266,7 +266,8 @@ Injector::startWorms(Cycle now)
             // backoff expired and (if ordering is enforced) no
             // earlier message, queued or in flight, targets the same
             // destination.
-            std::vector<NodeId> seen;
+            std::vector<NodeId>& seen = seenScratch_;
+            seen.clear();
             auto it = queue_.begin();
             for (; it != queue_.end(); ++it) {
                 const bool dst_clear = !cfg_.enforceDestOrder ||
@@ -464,6 +465,40 @@ Injector::activeWorms() const
         if (s.state == Slot::State::Active)
             ++n;
     return n;
+}
+
+Cycle
+Injector::nextEventCycle(Cycle now) const
+{
+    // A pending retry is requeued (and may draw its backoff gap) at
+    // the very next tick; an active worm needs per-cycle stall/I_min
+    // accounting and flit injection.
+    if (!pendingRetries_.empty())
+        return now + 1;
+    Cycle next = kNeverCycle;
+    for (const auto& s : slots_) {
+        if (s.state == Slot::State::Active)
+            return now + 1;
+        if (s.state == Slot::State::Cooldown) {
+            // The exit resets the credit ledger at exactly
+            // cooldownUntil; waking later would let a late credit see
+            // a different slot state than under the sweep scheduler.
+            if (s.cooldownUntil <= now + 1)
+                return now + 1;
+            next = std::min(next, s.cooldownUntil);
+        }
+    }
+    // With no active worm, busyDests_ is empty, so a queued message
+    // is held back only by its backoff expiry (destination-order
+    // interleavings can delay an individual start, but a tick before
+    // then is a no-op, which keeps this bound safe). Nothing beats
+    // now + 1, so the scan stops at the first ready message.
+    for (const PendingMessage& m : queue_) {
+        if (m.notBefore <= now + 1)
+            return now + 1;
+        next = std::min(next, m.notBefore);
+    }
+    return next;
 }
 
 bool

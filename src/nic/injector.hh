@@ -108,6 +108,17 @@ class Injector
     /** True when nothing is queued or in flight at this source. */
     bool idle() const;
 
+    /**
+     * Earliest future cycle at which tick() could change any state
+     * (active-set scheduler contract, see docs/PERFORMANCE.md):
+     * `now + 1` while a worm is active or a retry is pending, the
+     * nearest cooldown-exit or backoff expiry otherwise, kNeverCycle
+     * when the injector is fully idle. May be conservative (early) —
+     * a tick before the returned cycle is a state no-op — but never
+     * late.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Attach an observer for given-up messages (null to detach). */
     void setFailureSink(MessageFailureSink* sink)
     {
@@ -188,6 +199,7 @@ class Injector
     std::unordered_set<NodeId> busyDests_;
     std::vector<VcId> rrVc_;   //!< Injection arbitration per channel.
     std::vector<bool> channelUsed_;  //!< One flit/channel/cycle.
+    std::vector<NodeId> seenScratch_;  //!< startWorms queue-scan reuse.
 };
 
 } // namespace crnet

@@ -1,5 +1,7 @@
 #include "src/nic/receiver.hh"
 
+#include <algorithm>
+
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
@@ -333,7 +335,8 @@ Receiver::resolveTerminated(MsgId msg, Assembly& a, Cycle now)
 void
 Receiver::checkStarvation(Cycle now)
 {
-    std::vector<MsgId> starved;
+    std::vector<MsgId>& starved = starvedScratch_;
+    starved.clear();
     for (const auto& entry : assemblies_) {
         if (!entry.second.terminated &&
             now - entry.second.lastFlitAt > starvationThreshold_) {
@@ -388,7 +391,8 @@ Receiver::tick(Cycle now)
     if (dynamicFaults_) {
         // Resolve kill-terminated assemblies (collected first: the
         // resolution erases map entries).
-        std::vector<MsgId> done;
+        std::vector<MsgId>& done = doneScratch_;
+        done.clear();
         for (const auto& entry : assemblies_)
             if (entry.second.terminated)
                 done.push_back(entry.first);
@@ -397,7 +401,7 @@ Receiver::tick(Cycle now)
             if (it != assemblies_.end())
                 resolveTerminated(id, it->second, now);
         }
-        if (now % 64 == 0)
+        if (now % kStarvationCheckPeriod == 0)
             checkStarvation(now);
     }
     for (std::uint32_t ch = 0; ch < cfg_.ejectionChannels; ++ch) {
@@ -446,6 +450,32 @@ Receiver::idle() const
         if (!b.buf.empty())
             return false;
     return assemblies_.empty();
+}
+
+Cycle
+Receiver::nextEventCycle(Cycle now) const
+{
+    for (const auto& b : bufs_)
+        if (!b.buf.empty())
+            return now + 1;
+    if (!dynamicFaults_ || assemblies_.empty())
+        return kNeverCycle;
+    Cycle next = kNeverCycle;
+    for (const auto& entry : assemblies_) {
+        if (entry.second.terminated)
+            return now + 1;
+        // The starvation condition (now - lastFlitAt > threshold)
+        // first holds at lastFlitAt + threshold + 1, but tick only
+        // scans on period boundaries — round up to the one that fires.
+        Cycle at =
+            entry.second.lastFlitAt + starvationThreshold_ + 1;
+        if (at < now + 1)
+            at = now + 1;
+        at = (at + kStarvationCheckPeriod - 1) /
+             kStarvationCheckPeriod * kStarvationCheckPeriod;
+        next = std::min(next, at);
+    }
+    return next;
 }
 
 } // namespace crnet

@@ -118,6 +118,17 @@ class Receiver
     /** True when no flits are buffered and no assembly is open. */
     bool idle() const;
 
+    /**
+     * Earliest future cycle at which tick() could change any state
+     * (active-set scheduler contract, see docs/PERFORMANCE.md):
+     * `now + 1` while any ejection VC holds flits or a terminated
+     * assembly awaits resolution, the next starvation-check boundary
+     * that could fire otherwise, kNeverCycle when fully idle. May be
+     * conservative (early) — a tick before the returned cycle is a
+     * state no-op — but never late.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     std::uint64_t deliveredCount() const { return delivered_; }
 
     /**
@@ -217,6 +228,10 @@ class Receiver
     std::uint64_t delivered_ = 0;
 
     bool dynamicFaults_ = false;
+    /** Cycles between starvation scans (tick only acts on multiples). */
+    static constexpr Cycle kStarvationCheckPeriod = 64;
+    std::vector<MsgId> doneScratch_;     //!< tick() terminated-id reuse.
+    std::vector<MsgId> starvedScratch_;  //!< checkStarvation() reuse.
     /**
      * Starvation backstop: far beyond any legitimate stall (the
      * source timeout resolves those), so it only fires when the

@@ -39,6 +39,19 @@ Router::Router(NodeId id, const SimConfig& cfg,
     rrInVc_.assign(numInPorts_, 0);
     rrOutIn_.assign(numOutPorts_, 0);
     outPortBusy_.assign(numOutPorts_, false);
+
+    byOut_.resize(numOutPorts_);
+    for (auto& reqs : byOut_)
+        reqs.reserve(static_cast<std::size_t>(numInPorts_) * numVcs_);
+    scratch_.reserve(static_cast<std::size_t>(numOutPorts_) * numVcs_);
+    const std::size_t lanes =
+        static_cast<std::size_t>(numOutPorts_) * numVcs_;
+    sentFlits.reserve(lanes);
+    sentCredits.reserve(static_cast<std::size_t>(numInPorts_) *
+                        numVcs_);
+    sentBkills.reserve(8);
+    sentAborts.reserve(8);
+    pendingBkillsAsOut_.reserve(8);
 }
 
 Router::InputVc&
@@ -356,14 +369,10 @@ void
 Router::allocateSwitch(Cycle)
 {
     // Phase 1: each input port nominates one VC (round-robin scan).
-    struct Req
-    {
-        PortId inPort;
-        VcId inVc;
-    };
-    // Small fixed-size network: a per-output bucket vector is cheap.
-    static thread_local std::vector<std::vector<Req>> by_out;
-    by_out.assign(numOutPorts_, {});
+    // The per-output buckets are members so their capacity survives
+    // across ticks (zero steady-state allocation).
+    for (auto& reqs : byOut_)
+        reqs.clear();
 
     for (PortId p = 0; p < numInPorts_; ++p) {
         for (std::uint32_t i = 0; i < numVcs_; ++i) {
@@ -377,19 +386,19 @@ Router::allocateSwitch(Cycle)
             const OutputVc& o = ovc(in.outPort, in.outVc);
             if (o.credits == 0)
                 continue;
-            by_out[in.outPort].push_back(Req{p, v});
+            byOut_[in.outPort].push_back(SwitchReq{p, v});
             break;  // One nomination per input port.
         }
     }
 
     // Phase 2: each output port picks one winner (round-robin).
     for (PortId o = 0; o < numOutPorts_; ++o) {
-        auto& reqs = by_out[o];
+        auto& reqs = byOut_[o];
         if (reqs.empty())
             continue;
-        const Req* winner = &reqs[0];
+        const SwitchReq* winner = &reqs[0];
         std::uint32_t best = numInPorts_;
-        for (const Req& r : reqs) {
+        for (const SwitchReq& r : reqs) {
             const std::uint32_t dist =
                 (r.inPort + numInPorts_ - rrOutIn_[o]) % numInPorts_;
             if (dist < best) {

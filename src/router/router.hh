@@ -287,6 +287,13 @@ class Router
         Cycle quarantineUntil = 0;
     };
 
+    /** One switch nomination: an input VC asking for its output port. */
+    struct SwitchReq
+    {
+        PortId inPort;
+        VcId inVc;
+    };
+
     InputVc& ivc(PortId p, VcId v);
     const InputVc& ivc(PortId p, VcId v) const;
     OutputVc& ovc(PortId p, VcId v);
@@ -339,6 +346,9 @@ class Router
 
     /** Scratch candidate list (avoids per-header allocation). */
     mutable std::vector<Candidate> scratch_;
+
+    /** Per-output nomination buckets (reused across ticks). */
+    std::vector<std::vector<SwitchReq>> byOut_;
 };
 
 } // namespace crnet

@@ -192,6 +192,7 @@ SimConfig::set(const std::string& key, const std::string& value)
         parseU64(key, value) != 0;
     else if (key == "jobs") jobs =
         static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "sched") sched = schedulerFromString(value);
     else if (key == "seed") seed = parseU64(key, value);
     else if (key == "warmup") warmupCycles = parseU64(key, value);
     else if (key == "measure") measureCycles = parseU64(key, value);
@@ -302,6 +303,16 @@ toString(TrafficPattern k)
     panic("bad TrafficPattern");
 }
 
+std::string
+toString(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::Sweep: return "sweep";
+      case SchedulerKind::Active: return "active";
+    }
+    panic("bad SchedulerKind");
+}
+
 TopologyKind
 topologyFromString(const std::string& s)
 {
@@ -347,6 +358,14 @@ backoffFromString(const std::string& s)
     if (s == "static") return BackoffScheme::Static;
     if (s == "exponential") return BackoffScheme::Exponential;
     fatal("unknown backoff scheme '", s, "'");
+}
+
+SchedulerKind
+schedulerFromString(const std::string& s)
+{
+    if (s == "sweep") return SchedulerKind::Sweep;
+    if (s == "active") return SchedulerKind::Active;
+    fatal("unknown scheduler '", s, "'");
 }
 
 TrafficPattern

@@ -57,6 +57,16 @@ enum class BackoffScheme {
     Exponential  //!< Binary exponential backoff (dynamic scheme).
 };
 
+/**
+ * Component-scheduling strategy of the cycle loop (see
+ * docs/PERFORMANCE.md). Both produce bit-identical results; `sweep`
+ * exists as the A/B reference for the equivalence suite.
+ */
+enum class SchedulerKind {
+    Sweep,   //!< Tick every injector/router/receiver every cycle.
+    Active   //!< Tick only components with work or a due deadline.
+};
+
 /** Synthetic traffic spatial patterns. */
 enum class TrafficPattern {
     Uniform,
@@ -174,6 +184,13 @@ struct SimConfig
     bool heatmapEnabled = false;
 
     // --- Experiment ---------------------------------------------------
+    /**
+     * Cycle-loop scheduler. Active (the default) skips idle
+     * components and is bit-identical to Sweep at every setting; the
+     * `sched=sweep` override re-enables the exhaustive per-node sweep
+     * for A/B identity testing and perf comparison.
+     */
+    SchedulerKind sched = SchedulerKind::Active;
     std::uint64_t seed = 1;
     /**
      * Worker threads for the batch engines (`runMany`/`sweepLoads`,
@@ -228,6 +245,7 @@ std::string toString(ProtocolKind k);
 std::string toString(TimeoutScheme k);
 std::string toString(BackoffScheme k);
 std::string toString(TrafficPattern k);
+std::string toString(SchedulerKind k);
 
 TopologyKind topologyFromString(const std::string& s);
 RoutingKind routingFromString(const std::string& s);
@@ -235,6 +253,7 @@ ProtocolKind protocolFromString(const std::string& s);
 TimeoutScheme timeoutSchemeFromString(const std::string& s);
 BackoffScheme backoffFromString(const std::string& s);
 TrafficPattern patternFromString(const std::string& s);
+SchedulerKind schedulerFromString(const std::string& s);
 
 } // namespace crnet
 

@@ -26,6 +26,9 @@ using VcId = std::uint16_t;
 /** Port index on a router (0 .. radix-1). */
 using PortId = std::uint16_t;
 
+/** Sentinel for "no scheduled cycle" (deadline never fires). */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
 /** Sentinel for "no node". */
 inline constexpr NodeId kInvalidNode =
     std::numeric_limits<NodeId>::max();

@@ -1,25 +1,39 @@
 #!/usr/bin/env python3
-"""Measure the parallel experiment engine and emit BENCH_pr3.json.
+"""Measure the cycle engine and emit BENCH_pr5.json.
 
 Every crnet bench ends with a machine-parseable footer:
 
   timing: runs=N wall_s=S sims_per_s=R flit_events=E \
       flit_events_per_s=F jobs=J cores=C
 
-This script runs a selection of benches twice — sequentially (jobs=1)
-and with the parallel engine (jobs=N, default min(8, cpu_count)) —
-parses the footers, and writes a JSON report recording per-bench
-wall-clock, throughput, and the parallel speedup, together with the
-host core count so the numbers are interpretable (speedup is bounded
-by the physical cores actually available).
+This script runs a selection of benches three ways per bench —
+
+  sweep_jobs1   exhaustive per-node scheduler, sequential
+  active_jobs1  active-set scheduler (the default), sequential
+  active_jobsN  active-set scheduler under the parallel engine
+
+— parses the footers, checks that all three report identical
+flit_events (the schedulers are bit-identical and the parallel engine
+is deterministic, so any difference is a correctness bug, not noise),
+and writes a JSON report recording per-bench wall-clock, throughput,
+the scheduler speedup (active vs sweep) and the parallel speedup,
+together with the host core count so the numbers are interpretable.
+
+With --baseline the report's headline throughput (active_jobs1, the
+default configuration) is compared against an earlier report —
+v1 (BENCH_pr3.json) or v2 — and the script fails if any bench
+present in both regressed by more than --max-regression.
 
 Usage:
   tools/bench_report.py [--build-dir build] [--jobs N]
-                        [--out BENCH_pr3.json] [--quick]
+                        [--out BENCH_pr5.json] [--quick]
+                        [--baseline BENCH_pr3.json]
+                        [--max-regression 0.15]
 
-The default bench set covers one load-sweep bench and the fault
-campaign; --quick shrinks the simulated spans so the report finishes
-in about a minute on one core.
+The default bench set covers a mid-load sweep, the dynamic-fault
+campaign, and the zero-load-latency sweep (the active scheduler's
+best case); --quick shrinks the simulated spans so the report
+finishes in a couple of minutes on one core.
 """
 
 import argparse
@@ -29,18 +43,20 @@ import re
 import subprocess
 import sys
 
-SCHEMA = "crnet-bench-report-v1"
+SCHEMA = "crnet-bench-report-v2"
 
 # (bench binary, extra args). The overrides shrink simulated spans so
-# report generation stays cheap; both settings use identical configs,
-# so the speedup comparison is apples-to-apples.
+# report generation stays cheap; all runs of one bench use identical
+# configs, so every comparison is apples-to-apples.
 DEFAULT_BENCHES = [
     ("bench_fig12_timeout", []),
     ("bench_campaign_dynamic", ["trials=32", "seed_base=1"]),
+    ("bench_lowload_latency", []),
 ]
 QUICK_ARGS = {
     "bench_fig12_timeout": ["measure=1000", "drain=10000"],
     "bench_campaign_dynamic": ["trials=16", "seed_base=1"],
+    "bench_lowload_latency": ["measure=4000"],
 }
 
 FOOTER_RE = re.compile(r"^timing: (.+)$", re.M)
@@ -64,9 +80,9 @@ def parse_footer(output):
     return fields
 
 
-def run_bench(path, args, jobs):
-    """Run one bench at a job count; return its parsed footer."""
-    cmd = [path] + args + [f"jobs={jobs}"]
+def run_bench(path, args, sched, jobs):
+    """Run one bench configuration; return its parsed footer."""
+    cmd = [path] + args + [f"sched={sched}", f"jobs={jobs}"]
     print(f"  $ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -79,6 +95,22 @@ def run_bench(path, args, jobs):
     return footer
 
 
+def baseline_fps(baseline, name):
+    """Headline flit_events_per_s of one bench in a prior report.
+
+    Understands both the v1 schema (one scheduler: benches[name].jobs1)
+    and the v2 schema (benches[name].active_jobs1). Returns None when
+    the bench is absent (e.g. added after the baseline was recorded).
+    """
+    bench = baseline.get("benches", {}).get(name)
+    if bench is None:
+        return None
+    entry = bench.get("active_jobs1") or bench.get("jobs1")
+    if entry is None:
+        return None
+    return entry.get("flit_events_per_s")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -86,10 +118,21 @@ def main():
     ap.add_argument("--jobs", type=int,
                     default=min(8, os.cpu_count() or 1),
                     help="parallel job count to compare against jobs=1")
-    ap.add_argument("--out", default="BENCH_pr3.json")
+    ap.add_argument("--out", default="BENCH_pr5.json")
     ap.add_argument("--quick", action="store_true",
                     help="shrink simulated spans for a fast report")
+    ap.add_argument("--baseline",
+                    help="prior report (v1 or v2) to compare against")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="max tolerated headline throughput loss "
+                         "vs --baseline (fraction, default 0.15)")
     opts = ap.parse_args()
+
+    baseline = None
+    if opts.baseline:
+        # Read up front so --baseline and --out may name the same file.
+        with open(opts.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
 
     report = {
         "schema": SCHEMA,
@@ -97,6 +140,7 @@ def main():
         "jobs_parallel": opts.jobs,
         "benches": {},
     }
+    regressions = []
     for name, args in DEFAULT_BENCHES:
         path = os.path.join(opts.build_dir, "bench", name)
         if not os.path.exists(path):
@@ -105,29 +149,63 @@ def main():
         if opts.quick:
             args = QUICK_ARGS.get(name, args)
         print(f"{name}:", file=sys.stderr)
-        seq = run_bench(path, args, 1)
-        par = run_bench(path, args, opts.jobs)
-        if seq["flit_events"] != par["flit_events"]:
+        sweep1 = run_bench(path, args, "sweep", 1)
+        active1 = run_bench(path, args, "active", 1)
+        # The parallel leg only means something with a second worker
+        # (and at jobs=1 its dict key would collide with active_jobs1).
+        activeN = (run_bench(path, args, "active", opts.jobs)
+                   if opts.jobs > 1 else None)
+        footers = [sweep1, active1] + ([activeN] if activeN else [])
+        events = {f["flit_events"] for f in footers}
+        if len(events) != 1:
             raise SystemExit(
-                f"{name}: flit_events differ between jobs=1 "
-                f"({seq['flit_events']}) and jobs={opts.jobs} "
-                f"({par['flit_events']}) — determinism violation")
-        speedup = (seq["wall_s"] / par["wall_s"]
-                   if par["wall_s"] > 0 else 0.0)
+                f"{name}: flit_events differ across configurations "
+                f"({sorted(events)}) — scheduler-identity or "
+                "parallel-determinism violation")
+        sched_speedup = (active1["flit_events_per_s"] /
+                         sweep1["flit_events_per_s"]
+                         if sweep1["flit_events_per_s"] else 0.0)
         report["benches"][name] = {
             "args": args,
-            "jobs1": seq,
-            f"jobs{opts.jobs}": par,
-            "speedup": round(speedup, 3),
+            "sweep_jobs1": sweep1,
+            "active_jobs1": active1,
+            "sched_speedup": round(sched_speedup, 3),
         }
-        print(f"  speedup at jobs={opts.jobs}: {speedup:.2f}x "
-              f"({report['cpu_cores']} core(s) available)",
-              file=sys.stderr)
+        print(f"  scheduler speedup (active/sweep): "
+              f"{sched_speedup:.2f}x", file=sys.stderr)
+        if activeN is not None:
+            par_speedup = (active1["wall_s"] / activeN["wall_s"]
+                           if activeN["wall_s"] > 0 else 0.0)
+            report["benches"][name][f"active_jobs{opts.jobs}"] = activeN
+            report["benches"][name]["parallel_speedup"] = (
+                round(par_speedup, 3))
+            print(f"  parallel speedup at jobs={opts.jobs}: "
+                  f"{par_speedup:.2f}x ({report['cpu_cores']} "
+                  "core(s) available)", file=sys.stderr)
+
+        if baseline is not None:
+            base_fps = baseline_fps(baseline, name)
+            if base_fps:
+                ratio = active1["flit_events_per_s"] / base_fps
+                report["benches"][name]["vs_baseline"] = round(ratio, 3)
+                print(f"  vs baseline: {ratio:.2f}x", file=sys.stderr)
+                if ratio < 1.0 - opts.max_regression:
+                    regressions.append((name, ratio))
+            else:
+                print("  vs baseline: (not in baseline)",
+                      file=sys.stderr)
 
     with open(opts.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
     print(f"wrote {opts.out}", file=sys.stderr)
+
+    if regressions:
+        for name, ratio in regressions:
+            print(f"REGRESSION: {name} at {ratio:.2f}x of baseline "
+                  f"(tolerance {1.0 - opts.max_regression:.2f}x)",
+                  file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":
