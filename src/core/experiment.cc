@@ -2,26 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <string>
 
+#include "src/core/annotations.hh"
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/trace.hh"
+#include "src/sim/walltime.hh"
 
 namespace crnet {
 
 namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-double
-secondsSince(SteadyClock::time_point start)
-{
-    return std::chrono::duration<double>(SteadyClock::now() - start)
-        .count();
-}
 
 /** Drain-phase step size; the last step is clamped to the budget. */
 constexpr Cycle kDrainQuantum = 256;
@@ -72,6 +64,9 @@ summarize(const Network& net, bool drained, Cycle cycles)
     if (r.latencyOverflow > 0) {
         // Once per process: every saturated run would repeat the same
         // advice, and replicated sweeps run thousands of points.
+        CRNET_ALLOW("global-state",
+                    "once-per-process advice latch; atomic, write-once, "
+                    "and never read by anything result-affecting")
         static std::atomic<bool> warned{false};
         if (!warned.exchange(true)) {
             warn("latency histogram saturated (", r.latencyOverflow,
@@ -93,7 +88,7 @@ summarize(const Network& net, bool drained, Cycle cycles)
 RunResult
 runExperiment(const SimConfig& cfg)
 {
-    const auto start = SteadyClock::now();
+    const WallTimer timer;
     Network net(cfg);
 
     // Warmup: traffic flows, nothing is tagged.
@@ -118,7 +113,7 @@ runExperiment(const SimConfig& cfg)
         drained = net.measuredDrained();
     }
     RunResult r = summarize(net, drained, net.now());
-    r.wallSeconds = secondsSince(start);
+    r.wallSeconds = timer.seconds();
     return r;
 }
 
@@ -157,7 +152,7 @@ runReplicated(SimConfig cfg, std::uint32_t replications)
 {
     if (replications == 0)
         fatal("runReplicated needs at least one replication");
-    const auto start = SteadyClock::now();
+    const WallTimer timer;
     std::vector<SimConfig> points(replications, cfg);
     for (std::uint32_t i = 0; i < replications; ++i)
         points[i].seed = cfg.seed + i;
@@ -184,7 +179,7 @@ runReplicated(SimConfig cfg, std::uint32_t replications)
         out.latencyCi95 = 1.96 * lat.stddev() / root_n;
         out.throughputCi95 = 1.96 * thr.stddev() / root_n;
     }
-    out.wallSeconds = secondsSince(start);
+    out.wallSeconds = timer.seconds();
     return out;
 }
 
@@ -194,7 +189,7 @@ findSaturation(SimConfig cfg, double lo, double hi, double tolerance,
 {
     if (lo >= hi)
         fatal("findSaturation: lo must be < hi");
-    const auto start = SteadyClock::now();
+    const WallTimer timer;
     SaturationResult res;
     auto healthy = [&](double load) {
         cfg.injectionRate = load;
@@ -207,7 +202,7 @@ findSaturation(SimConfig cfg, double lo, double hi, double tolerance,
     if (!healthy(lo)) {
         res.load = lo;
         res.belowRange = true;
-        res.wallSeconds = secondsSince(start);
+        res.wallSeconds = timer.seconds();
         return res;
     }
     while (hi - lo > tolerance) {
@@ -218,7 +213,7 @@ findSaturation(SimConfig cfg, double lo, double hi, double tolerance,
             hi = mid;
     }
     res.load = lo;
-    res.wallSeconds = secondsSince(start);
+    res.wallSeconds = timer.seconds();
     return res;
 }
 

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/core/metrics.hh"
 #include "src/core/network.hh"
 #include "src/sim/config.hh"
@@ -76,6 +77,7 @@ double findSaturationLoad(SimConfig cfg, double lo, double hi,
                           double latency_cap = 2000.0);
 
 /** Extract a RunResult from a finished network (shared summarizer). */
+CRNET_RESULT_AFFECTING
 RunResult summarize(const Network& net, bool drained, Cycle cycles);
 
 /** Mean and spread over independent replications of one config. */

@@ -613,10 +613,7 @@ Network::tick()
     }
     if (dynamicFaults_ && !forensicsDumped_ && deadlocked()) {
         forensicsDumped_ = true;
-        std::ostringstream os;
-        dumpForensics(os);
-        warn("deadlock watchdog fired under dynamic faults\n",
-             os.str());
+        reportDeadlockForensics();
     }
 #if CRNET_AUDIT_ENABLED
     if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
@@ -627,6 +624,14 @@ Network::tick()
         takeSample();
     }
     ++now_;
+}
+
+void
+Network::reportDeadlockForensics()
+{
+    std::ostringstream os;
+    dumpForensics(os);
+    warn("deadlock watchdog fired under dynamic faults\n", os.str());
 }
 
 void

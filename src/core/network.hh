@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/core/metrics.hh"
 #include "src/fault/fault_model.hh"
 #include "src/fault/fault_schedule.hh"
@@ -51,7 +52,15 @@ class Network : public DeliverySink, public MessageFailureSink
     Network(const Network&) = delete;
     Network& operator=(const Network&) = delete;
 
-    /** Advance one cycle. */
+    /**
+     * Advance one cycle. Hot path: no heap allocation may be
+     * reachable from here in steady state (rule `alloc`; deliberate
+     * amortized-growth and diagnostic sites carry CRNET_ALLOW).
+     * Result-affecting: everything under the tick shapes reported
+     * results, so no hash-ordered iteration may be reachable either
+     * (rule `unordered-iter`).
+     */
+    CRNET_HOT_PATH CRNET_RESULT_AFFECTING
     void tick();
 
     /** Advance `n` cycles. */
@@ -152,6 +161,7 @@ class Network : public DeliverySink, public MessageFailureSink
      * warn() automatically the first time the watchdog fires under
      * dynamic faults.
      */
+    CRNET_RESULT_AFFECTING
     void dumpForensics(std::ostream& os) const;
 
     /**
@@ -160,6 +170,7 @@ class Network : public DeliverySink, public MessageFailureSink
      * buffered in that node's router — after a deadlock this shows
      * the wedged worm cycle directly.
      */
+    CRNET_RESULT_AFFECTING
     void dumpOccupancy(std::ostream& os) const;
 
     // DeliverySink
@@ -259,7 +270,13 @@ class Network : public DeliverySink, public MessageFailureSink
      * Sleep a component until `at` (kNeverCycle = fully idle;
      * now_ + 1 or earlier = stay in the wake list).
      */
+    CRNET_ALLOW("alloc",
+                "deadline min-heap push: amortized vector growth, "
+                "bounded by the node count in steady state")
     void scheduleInjector(NodeId id, Cycle at);
+    CRNET_ALLOW("alloc",
+                "deadline min-heap push: amortized vector growth, "
+                "bounded by the node count in steady state")
     void scheduleReceiver(NodeId id, Cycle at);
 
     /** Wake every component whose deadline is due at now_. */
@@ -273,6 +290,16 @@ class Network : public DeliverySink, public MessageFailureSink
 
     /** Snapshot every credit ledger and run the invariant sweep. */
     void runAuditSweep();
+
+    /**
+     * One-shot deadlock diagnostic: format the forensics report and
+     * warn() it. Split out of tick() so its string building can be
+     * suppressed without exempting the tick itself.
+     */
+    CRNET_ALLOW("alloc",
+                "one-shot deadlock diagnostic: fires at most once per "
+                "run, after the simulation is already wedged")
+    void reportDeadlockForensics();
 
     /** Append one time-series sample covering the last interval. */
     void takeSample();

@@ -1,11 +1,11 @@
 #include "src/fault/campaign.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "src/core/network.hh"
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
+#include "src/sim/walltime.hh"
 
 namespace crnet {
 
@@ -67,8 +67,27 @@ DeliveryLedger::onRefused(const PendingMessage& msg, Cycle now)
     ++refused_;
 }
 
+CRNET_ALLOW("unordered-iter",
+            "sorts the hash-ordered ledger into MsgId order before "
+            "returning; the one sanctioned crossing from entries_ to "
+            "result-affecting consumers")
+std::vector<std::pair<MsgId, const LedgerEntry*>>
+DeliveryLedger::sortedEntries() const
+{
+    std::vector<std::pair<MsgId, const LedgerEntry*>> sorted;
+    sorted.reserve(entries_.size());
+    for (const auto& entry : entries_)
+        sorted.emplace_back(entry.first, &entry.second);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    return sorted;
+}
+
 namespace {
 
+CRNET_RESULT_AFFECTING
 TrialOutcome
 runTrial(const CampaignConfig& cc, std::uint32_t trial)
 {
@@ -120,11 +139,14 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
         sched != nullptr ? sched->firstEventCycle() : 0;
 
     // Latency transient and recovery time, from the ledger itself.
+    // MsgId order, not hash order: these are float accumulations, so
+    // the sums (and hence the reported means) must not depend on the
+    // unordered_map's bucket layout.
     double pre_sum = 0.0, post_sum = 0.0;
     std::uint64_t pre_n = 0, post_n = 0;
     Cycle last_pre_resolved = 0;
-    for (const auto& entry : ledger.entries()) {
-        const LedgerEntry& e = entry.second;
+    for (const auto& entry : ledger.sortedEntries()) {
+        const LedgerEntry& e = *entry.second;
         if (e.fate != MessageFate::Delivered)
             continue;
         const double lat =
@@ -151,7 +173,7 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
 CampaignSummary
 runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const WallTimer timer;
     CampaignSummary s;
     s.trials = cc.trials;
 
@@ -202,9 +224,7 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
     s.meanPostFaultLatency = post_n > 0 ? post_sum / post_n : 0.0;
     s.meanRecoveryCycles =
         cc.trials > 0 ? rec_sum / cc.trials : 0.0;
-    s.wallSeconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+    s.wallSeconds = timer.seconds();
     return s;
 }
 

@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/nic/receiver.hh"
 #include "src/sim/config.hh"
 #include "src/sim/types.hh"
@@ -96,6 +98,16 @@ class DeliveryLedger
     {
         return entries_;
     }
+
+    /**
+     * Entries snapshotted into ascending-MsgId order. Anything that
+     * folds the ledger into a reported number (latency transients,
+     * recovery times, audit dumps) must iterate this, not entries():
+     * float accumulation over hash order would make the result depend
+     * on the container's bucket layout.
+     */
+    std::vector<std::pair<MsgId, const LedgerEntry*>>
+    sortedEntries() const;
 
   private:
     std::unordered_map<MsgId, LedgerEntry> entries_;

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/core/metrics.hh"
 #include "src/router/flit.hh"
 #include "src/routing/routing.hh"
@@ -76,6 +77,10 @@ class Injector
      * Queue a message for transmission. Returns false (and counts a
      * drop) when the source queue is full.
      */
+    CRNET_ALLOW("alloc",
+                "per-message source-queue bookkeeping: deque block "
+                "growth is amortized and recycled in steady state "
+                "(tests/test_alloc_steady.cc)")
     bool enqueue(const PendingMessage& msg);
 
     // --- Delivery phase ----------------------------------------------
@@ -84,11 +89,16 @@ class Injector
     void acceptCredit(std::uint32_t inj_channel, VcId vc);
 
     /** Backward kill reached the source: abort and schedule a retry. */
+    CRNET_ALLOW("alloc",
+                "per-abort retry bookkeeping: requeue/retry-list "
+                "growth is amortized and recycled in steady state "
+                "(tests/test_alloc_steady.cc)")
     void acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg);
 
     // --- Compute phase -------------------------------------------------
 
     /** Advance one cycle; fills the `sent` outbox. */
+    CRNET_HOT_PATH
     void tick(Cycle now);
 
     /** Flits entering injection channels this cycle. */
@@ -174,10 +184,17 @@ class Injector
 
     Slot& slot(std::uint32_t ch, VcId vc);
     const Slot& slot(std::uint32_t ch, VcId vc) const;
+    CRNET_ALLOW("alloc",
+                "seenScratch_/busyDests_ reuse: amortized growth "
+                "only, steady-state-free (tests/test_alloc_steady.cc)")
     void startWorms(Cycle now);
     void checkTimeouts(Cycle now);
     void injectFlits(Cycle now);
     void killWorm(std::uint32_t ch, VcId vc, Cycle now);
+    CRNET_ALLOW("alloc",
+                "per-retry queue bookkeeping: deque block growth is "
+                "amortized and recycled in steady state "
+                "(tests/test_alloc_steady.cc)")
     void requeueForRetry(PendingMessage msg, Cycle now);
     Flit buildFlit(const Slot& s, std::uint32_t seq, Cycle now) const;
     bool timeoutExpired(const Slot& s, Cycle now) const;

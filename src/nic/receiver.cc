@@ -343,6 +343,10 @@ Receiver::checkStarvation(Cycle now)
             starved.push_back(entry.first);
         }
     }
+    // Salvage in MsgId order, not hash order: the loop below emits
+    // trace events, folds latencies into stats and queues bkills, so
+    // its order is part of the deterministic contract.
+    std::sort(starved.begin(), starved.end());
     for (const MsgId id : starved) {
         auto it = assemblies_.find(id);
         Assembly& a = it->second;
@@ -384,23 +388,32 @@ Receiver::checkDeliveryOrder(NodeId src, std::uint32_t pair_seq)
 }
 
 void
+Receiver::resolveAllTerminated(Cycle now)
+{
+    // Resolve kill-terminated assemblies (collected first: the
+    // resolution erases map entries). MsgId order, not hash order:
+    // resolution emits trace events and accumulates stats, so its
+    // order is part of the deterministic contract.
+    std::vector<MsgId>& done = doneScratch_;
+    done.clear();
+    for (const auto& entry : assemblies_)
+        if (entry.second.terminated)
+            done.push_back(entry.first);
+    std::sort(done.begin(), done.end());
+    for (const MsgId id : done) {
+        auto it = assemblies_.find(id);
+        if (it != assemblies_.end())
+            resolveTerminated(id, it->second, now);
+    }
+}
+
+void
 Receiver::tick(Cycle now)
 {
     credits.clear();
     bkills.clear();
     if (dynamicFaults_) {
-        // Resolve kill-terminated assemblies (collected first: the
-        // resolution erases map entries).
-        std::vector<MsgId>& done = doneScratch_;
-        done.clear();
-        for (const auto& entry : assemblies_)
-            if (entry.second.terminated)
-                done.push_back(entry.first);
-        for (const MsgId id : done) {
-            auto it = assemblies_.find(id);
-            if (it != assemblies_.end())
-                resolveTerminated(id, it->second, now);
-        }
+        resolveAllTerminated(now);
         if (now % kStarvationCheckPeriod == 0)
             checkStarvation(now);
     }
@@ -440,6 +453,12 @@ Receiver::openAssemblies() const
         p.lastFlitAt = entry.second.lastFlitAt;
         out.push_back(p);
     }
+    // MsgId order: probes feed forensics dumps, whose text must not
+    // depend on the assembly map's bucket layout.
+    std::sort(out.begin(), out.end(),
+              [](const AssemblyProbe& a, const AssemblyProbe& b) {
+                  return a.msg < b.msg;
+              });
     return out;
 }
 

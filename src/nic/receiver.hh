@@ -44,6 +44,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/core/metrics.hh"
 #include "src/router/buffer.hh"
 #include "src/router/flit.hh"
@@ -102,6 +103,7 @@ class Receiver
     // --- Compute phase -------------------------------------------------
 
     /** Consume up to one flit per ejection channel. */
+    CRNET_HOT_PATH
     void tick(Cycle now);
 
     /** Credits owed to the router's ejection output VCs this cycle. */
@@ -127,6 +129,9 @@ class Receiver
      * conservative (early) — a tick before the returned cycle is a
      * state no-op — but never late.
      */
+    CRNET_ALLOW("unordered-iter",
+                "pure min-fold over assembly deadlines: commutative, "
+                "so the fold result is independent of hash order")
     Cycle nextEventCycle(Cycle now) const;
 
     std::uint64_t deliveredCount() const { return delivered_; }
@@ -148,6 +153,9 @@ class Receiver
         std::uint32_t payloadLen = 0;
         Cycle lastFlitAt = 0;
     };
+    CRNET_ALLOW("unordered-iter",
+                "snapshots the assembly map, then sorts the probes "
+                "into MsgId order before returning")
     std::vector<AssemblyProbe> openAssemblies() const;
 
     // --- Audit probes (see src/sim/audit.hh) --------------------------
@@ -200,10 +208,27 @@ class Receiver
     void consume(std::uint32_t ch, VcId vc, Cycle now);
     void deliver(const Flit& tail, const Assembly& a, Cycle now);
     void commitDelivery(const DeliveredMessage& d);
+    CRNET_ALLOW("alloc",
+                "per-delivery exactly-once bookkeeping: one seen-set "
+                "node per delivered message, by design")
     void checkDeliveryOrder(NodeId src, std::uint32_t pair_seq);
     void noteFlit(Assembly& a, const Flit& flit);
     void drainIntoAssembly(std::uint32_t ch, VcId vc, MsgId msg);
     void resolveTerminated(MsgId msg, Assembly& a, Cycle now);
+    /** Resolve kill-terminated assemblies, in MsgId order. */
+    CRNET_ALLOW("unordered-iter",
+                "collects terminated ids from the assembly map, then "
+                "sorts into MsgId order before resolving")
+    CRNET_ALLOW("alloc",
+                "doneScratch_ reuse: amortized growth only, "
+                "steady-state-free (tests/test_alloc_steady.cc)")
+    void resolveAllTerminated(Cycle now);
+    CRNET_ALLOW("unordered-iter",
+                "collects starved ids from the assembly map, then "
+                "sorts into MsgId order before salvaging")
+    CRNET_ALLOW("alloc",
+                "starvedScratch_/bkills reuse: amortized growth only, "
+                "steady-state-free (tests/test_alloc_steady.cc)")
     void checkStarvation(Cycle now);
 
     NodeId node_;

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/router/buffer.hh"
 #include "src/router/flit.hh"
 #include "src/routing/routing.hh"
@@ -141,6 +142,7 @@ class Router
      * tokens, route waiting headers, allocate the switch and emit
      * flits/credits into the outboxes.
      */
+    CRNET_HOT_PATH
     void tick(Cycle now);
 
     // --- Dynamic faults (Network calls these when a link dies) -------
@@ -302,6 +304,10 @@ class Router
     void processBkills();
     void forwardKills();
     void routeHeaders(Cycle now);
+    CRNET_ALLOW("alloc",
+                "byOut_ nomination-bucket reuse: amortized growth "
+                "only, bounded by ports*vcs and steady-state-free "
+                "(tests/test_alloc_steady.cc)")
     void allocateSwitch(Cycle now);
     void checkRouterTimeouts();
     void killWormAt(PortId p, VcId v);

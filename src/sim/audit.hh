@@ -43,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/router/flit.hh"
 #include "src/sim/config.hh"
 #include "src/sim/types.hh"
@@ -147,6 +148,9 @@ class Auditor
      * was purged before traversing), so kills on idle channels are
      * legal only when their token is registered here.
      */
+    CRNET_ALLOW("alloc",
+                "audit-mode kill-token registry: one node per issued "
+                "kill; compiled out of release builds (CRNET_AUDIT)")
     void onKillIssued(MsgId msg, std::uint16_t attempt)
     {
         issuedKills_.insert(killKey(msg, attempt));
@@ -182,6 +186,9 @@ class Auditor
         MsgId purgedMsg = kInvalidMsg;  //!< Stragglers of this are legal.
     };
 
+    CRNET_ALLOW("alloc",
+                "audit-mode kill-token registry: one node per issued "
+                "kill; compiled out of release builds (CRNET_AUDIT)")
     void checkFlit(ChannelState& ch, const Flit& flit,
                    const char* where, NodeId node, std::uint32_t port,
                    VcId vc);

@@ -28,12 +28,17 @@
 #include <string>
 #include <utility>
 
+#include "src/core/annotations.hh"
+
 namespace crnet {
 
 namespace detail {
 
 /** Stream-concatenate all arguments into one string. */
 template <typename... Args>
+CRNET_ALLOW("alloc",
+            "diagnostic message formatting: runs only on "
+            "warn/inform/panic/fatal paths, never in steady state")
 std::string
 concat(Args&&... args)
 {
@@ -45,6 +50,9 @@ concat(Args&&... args)
 }
 
 /** Process-wide mutex serializing warn()/inform() writes. */
+CRNET_ALLOW("global-state",
+            "registered singleton: the process-wide log mutex; "
+            "synchronization only, never read into results")
 inline std::mutex&
 logMutex()
 {
@@ -53,6 +61,9 @@ logMutex()
 }
 
 /** Current run id of this thread, or -1 outside any LogRunScope. */
+CRNET_ALLOW("global-state",
+            "registered singleton: per-thread run-id tag for log "
+            "prefixes; diagnostic output only, never read into results")
 inline std::int64_t&
 logRunId()
 {
@@ -61,6 +72,9 @@ logRunId()
 }
 
 /** "[run N] " when a run scope is active, "" otherwise. */
+CRNET_ALLOW("alloc",
+            "diagnostic message formatting: runs only on "
+            "warn/inform paths, never in steady state")
 inline std::string
 logPrefix()
 {

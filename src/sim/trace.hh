@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/sim/types.hh"
 
 namespace crnet {
@@ -115,6 +116,10 @@ class Tracer
      * adopts the message id, so later events of the same worm that
      * carry no src/dst (kill tokens) still match.
      */
+    CRNET_ALLOW("alloc",
+                "event-buffer append and watch-filter adoption: "
+                "tracing runs trade steady-state allocation freedom "
+                "for observability by construction")
     void record(TraceEventKind kind, MsgId msg, NodeId node,
                 NodeId src, NodeId dst, std::uint16_t attempt,
                 std::uint64_t arg = 0);
@@ -130,7 +135,11 @@ class Tracer
     /**
      * Write both output files. Idempotent; called by the destructor,
      * but callable earlier to read the files while the network lives.
+     * Result-affecting: trace bytes are compared across schedulers
+     * and jobs=N configurations, so emission order must not depend
+     * on hash order.
      */
+    CRNET_RESULT_AFFECTING
     void flush();
 
   private:

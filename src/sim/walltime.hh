@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The bench timing shim: the one place in src/ allowed to read a
+ * wall clock.
+ *
+ * Simulation *results* must be pure functions of the configuration
+ * and seed — the `wallclock` rule of tools/crnet_analyze.py bans
+ * time sources everywhere else in src/ so a stray host-time read can
+ * never leak into a RunResult. Wall-clock observability fields
+ * (RunResult::wallSeconds, CampaignSummary::wallSeconds, bench
+ * timing footers) go through WallTimer, which is annotated as the
+ * registered exception.
+ */
+
+#ifndef CRNET_SIM_WALLTIME_HH
+#define CRNET_SIM_WALLTIME_HH
+
+#include <chrono>
+
+#include "src/core/annotations.hh"
+
+namespace crnet {
+
+/**
+ * Monotonic stopwatch for timing footers and wallSeconds fields.
+ * Starts at construction; seconds() reads the elapsed time without
+ * stopping it.
+ */
+class WallTimer
+{
+  public:
+    CRNET_ALLOW("wallclock", "the bench timing shim: the single "
+                "registered wall-clock source in src/")
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last reset()). */
+    CRNET_ALLOW("wallclock", "the bench timing shim: the single "
+                "registered wall-clock source in src/")
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Restart the stopwatch. */
+    CRNET_ALLOW("wallclock", "the bench timing shim: the single "
+                "registered wall-clock source in src/")
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace crnet
+
+#endif // CRNET_SIM_WALLTIME_HH

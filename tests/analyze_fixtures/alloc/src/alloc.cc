@@ -1,0 +1,23 @@
+// Fixture: heap allocation (operator new) directly inside a function
+// called from a hot-path root. Expected: one `alloc` violation with
+// chain tick -> makeBuffer.
+
+#define CRNET_HOT_PATH
+
+namespace fx {
+
+int*
+makeBuffer(int n)
+{
+    return new int[n];
+}
+
+CRNET_HOT_PATH
+void
+tick()
+{
+    int* p = makeBuffer(16);
+    delete[] p;
+}
+
+} // namespace fx

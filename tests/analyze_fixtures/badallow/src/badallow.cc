@@ -1,0 +1,22 @@
+// Fixture: CRNET_ALLOW suppressions that violate the grammar — one
+// with an empty reason string, one naming an unknown rule. Expected:
+// two `allow-missing-reason` violations.
+
+#define CRNET_ALLOW(rule, reason)
+
+namespace fx {
+
+CRNET_ALLOW("alloc", "")
+int*
+makeBuffer(int n)
+{
+    return new int[n];
+}
+
+CRNET_ALLOW("not-a-rule", "looks plausible but names no known rule")
+void
+helper()
+{
+}
+
+} // namespace fx

@@ -1,0 +1,33 @@
+// Fixture: a hot-path root whose whole call tree is allocation-free
+// and a result-affecting root with no unordered iteration. The
+// analyzer must report zero violations and exit 0.
+
+#define CRNET_HOT_PATH
+#define CRNET_RESULT_AFFECTING
+
+namespace fx {
+
+int
+sum(const int* v, int n)
+{
+    int s = 0;
+    for (int i = 0; i < n; ++i)
+        s += v[i];
+    return s;
+}
+
+CRNET_HOT_PATH
+int
+tick(const int* v, int n)
+{
+    return sum(v, n);
+}
+
+CRNET_RESULT_AFFECTING
+int
+summarize(const int* v, int n)
+{
+    return sum(v, n) * 2;
+}
+
+} // namespace fx

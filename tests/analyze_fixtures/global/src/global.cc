@@ -1,0 +1,17 @@
+// Fixture: mutable namespace-scope state and a function-local static
+// outside any registered singleton. The `global-state` rule is
+// whole-tree. Expected: two `global-state` violations.
+
+namespace fx {
+
+static int hiddenCounter = 0;
+
+int
+bump()
+{
+    static int calls = 0;
+    ++calls;
+    return ++hiddenCounter + calls;
+}
+
+} // namespace fx

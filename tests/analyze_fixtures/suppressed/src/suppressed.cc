@@ -1,0 +1,25 @@
+// Fixture: the same allocation as the `alloc` fixture, but the
+// allocating callee carries a CRNET_ALLOW("alloc", ...) with a
+// reason, so the analyzer must report zero violations and exit 0.
+
+#define CRNET_HOT_PATH
+#define CRNET_ALLOW(rule, reason)
+
+namespace fx {
+
+CRNET_ALLOW("alloc", "setup-time buffer: runs once before the loop")
+int*
+makeBuffer(int n)
+{
+    return new int[n];
+}
+
+CRNET_HOT_PATH
+void
+tick()
+{
+    int* p = makeBuffer(16);
+    delete[] p;
+}
+
+} // namespace fx

@@ -1,0 +1,35 @@
+// Fixture: the violation sits three calls below the annotated root.
+// Expected: one `alloc` violation in leaf() whose chain walks
+// tick -> middle -> lower -> leaf.
+
+#define CRNET_HOT_PATH
+
+namespace fx {
+
+void
+leaf()
+{
+    int* p = new int(7);
+    delete p;
+}
+
+void
+lower()
+{
+    leaf();
+}
+
+void
+middle()
+{
+    lower();
+}
+
+CRNET_HOT_PATH
+void
+tick()
+{
+    middle();
+}
+
+} // namespace fx

@@ -1,0 +1,35 @@
+// Fixture: range-for over an unordered_map member reachable from a
+// result-affecting root. Expected: one `unordered-iter` violation in
+// Ledger::total with chain summarize -> Ledger::total.
+
+#define CRNET_RESULT_AFFECTING
+
+#include <unordered_map>
+
+namespace fx {
+
+class Ledger
+{
+  public:
+    void add(int k, double v) { entries_[k] = v; }
+
+    double total() const
+    {
+        double s = 0.0;
+        for (const auto& e : entries_)
+            s += e.second;
+        return s;
+    }
+
+  private:
+    std::unordered_map<int, double> entries_;
+};
+
+CRNET_RESULT_AFFECTING
+double
+summarize(const Ledger& ledger)
+{
+    return ledger.total();
+}
+
+} // namespace fx

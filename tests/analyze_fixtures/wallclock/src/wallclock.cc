@@ -1,0 +1,17 @@
+// Fixture: a wall-clock read outside any timing shim. The `wallclock`
+// rule is whole-tree (no root annotation needed). Expected: one
+// `wallclock` violation in elapsed().
+
+#include <chrono>
+
+namespace fx {
+
+double
+elapsed()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace fx

@@ -8,9 +8,11 @@ noted, the whole C++ tree):
   * randomness goes through src/sim/rng.hh — no raw rand()/random()/
     std::mt19937 anywhere else (reproducibility: every experiment is
     seeded through SimConfig);
-  * output goes through src/sim/log.hh — no printf/fprintf/std::cout/
-    std::cerr in src/ outside log.hh (library code must not write to
-    the terminal behind the simulation's back);
+  * output goes through src/sim/log.hh — no printf/fprintf/puts/
+    perror/std::cout/std::cerr/std::clog in src/ outside log.hh
+    (library code must not write to the terminal behind the
+    simulation's back), and no raw abort() — panic() aborts after
+    reporting, in every build type;
   * include guards are CRNET_<PATH>_<FILE>_HH, matching the file's
     location under src/;
   * no assert() in protocol code — invariants use panic(), which fires
@@ -33,7 +35,11 @@ RAW_RANDOM = re.compile(
     r"\b(?:std::)?mt19937(?:_64)?\b"          # engine type, any use
     r"|\b(?:std::)?(?:rand|srand|random)\s*\("  # C PRNG calls
 )
-RAW_OUTPUT = re.compile(r"\b(?:printf|fprintf|puts|std::cout|std::cerr)\b")
+RAW_OUTPUT = re.compile(
+    r"\b(?:printf|fprintf|puts|perror"          # C stdio
+    r"|std::cout|std::cerr|std::clog)\b"        # iostream globals
+    r"|\b(?:std::)?abort\s*\("                  # bypasses panic()
+)
 RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
 GUARD_IFNDEF = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
 
@@ -123,9 +129,71 @@ def lint_file(root: Path, path: Path, problems: list[str]) -> None:
             )
 
 
+#: (sample line, regex, should_match) triples exercising each pattern.
+#: Kept next to the regexes so adding a pattern without a self-test
+#: case is an obvious omission in review.
+SELF_TEST_CASES = [
+    # RAW_OUTPUT positives.
+    ('printf("x");', RAW_OUTPUT, True),
+    ('std::fprintf(stderr, "x");', RAW_OUTPUT, True),
+    ('puts("x");', RAW_OUTPUT, True),
+    ('perror("open");', RAW_OUTPUT, True),
+    ("std::cout << x;", RAW_OUTPUT, True),
+    ("std::cerr << x;", RAW_OUTPUT, True),
+    ("std::clog << x;", RAW_OUTPUT, True),
+    ("abort();", RAW_OUTPUT, True),
+    ("std::abort();", RAW_OUTPUT, True),
+    # RAW_OUTPUT negatives: member/identifier lookalikes.
+    ("inj.acceptAbort(ch, vc, msg);", RAW_OUTPUT, False),
+    ("void onAbort(MsgId msg);", RAW_OUTPUT, False),
+    ("int sprintf_like = 0;", RAW_OUTPUT, False),
+    ("bool aborted = worm.aborted();", RAW_OUTPUT, False),
+    ("// std::cout in a comment survives stripping upstream",
+     RAW_OUTPUT, True),  # self-test feeds raw lines; stripping is
+                         # exercised by the comment case below.
+    # RAW_RANDOM.
+    ("std::mt19937 gen(seed);", RAW_RANDOM, True),
+    ("int r = rand();", RAW_RANDOM, True),
+    ("srand(42);", RAW_RANDOM, True),
+    ("Rng rng(seed);", RAW_RANDOM, False),
+    ("randomize_later();", RAW_RANDOM, False),
+    # RAW_ASSERT.
+    ("assert(x > 0);", RAW_ASSERT, True),
+    ("static_assert(sizeof(x) == 4);", RAW_ASSERT, False),
+    ("myassert(x);", RAW_ASSERT, False),
+]
+
+
+def self_test() -> int:
+    """Check every pattern against its embedded samples."""
+    failures = 0
+    for line, pattern, want in SELF_TEST_CASES:
+        got = pattern.search(line) is not None
+        if got != want:
+            failures += 1
+            print(f"FAIL [{pattern.pattern[:40]}...] "
+                  f"matched={got} expected={want}: {line}")
+    # Comment/string stripping must hide matches from the scanners.
+    stripped = strip_comments_and_strings(
+        '// std::cout\n"std::cerr"\nstd::clog << x;\n')
+    hits = [m.group(0) for m in RAW_OUTPUT.finditer(stripped)]
+    if hits != ["std::clog"]:
+        failures += 1
+        print(f"FAIL stripping: expected only std::clog, got {hits}")
+    if failures:
+        print(f"crnet_lint --self-test: {failures} case(s) failed")
+        return 1
+    print(f"crnet_lint --self-test: "
+          f"{len(SELF_TEST_CASES) + 1} cases passed")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) > 2:
-        print("usage: crnet_lint.py [repo-root]", file=sys.stderr)
+        print("usage: crnet_lint.py [repo-root | --self-test]",
+              file=sys.stderr)
         return 2
     root = Path(argv[1]).resolve() if len(argv) == 2 else Path.cwd()
     if not (root / "src").is_dir():
