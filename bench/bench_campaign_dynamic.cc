@@ -11,8 +11,13 @@
  * but may deliver corrupted payloads under a transient burst.
  *
  * Extra args (before the usual key=value config overrides):
- *   trials=N      number of seeded trials (default 100)
- *   seed_base=S   seed of trial 0 (default 1)
+ *   trials=N        number of seeded trials (default 100)
+ *   seed_base=S     seed of trial 0 (default 1)
+ *   journal=PATH    crash-resume journal (docs/ROBUSTNESS.md); a
+ *                   restarted campaign replays completed trials and
+ *                   runs only the missing ones
+ *   trial_retries=N watchdog re-runs before quarantining a trial
+ *                   that exhausts its drain budget (default 1)
  */
 
 #include <cstdlib>
@@ -47,6 +52,11 @@ main(int argc, char** argv)
                 std::strtoul(argv[i] + 7, nullptr, 10));
         else if (std::strncmp(argv[i], "seed_base=", 10) == 0)
             cc.seedBase = std::strtoull(argv[i] + 10, nullptr, 10);
+        else if (std::strncmp(argv[i], "journal=", 8) == 0)
+            cc.journalPath = argv[i] + 8;
+        else if (std::strncmp(argv[i], "trial_retries=", 14) == 0)
+            cc.trialRetries = static_cast<std::uint32_t>(
+                std::strtoul(argv[i] + 14, nullptr, 10));
         else
             rest.push_back(argv[i]);
     }
@@ -59,13 +69,15 @@ main(int argc, char** argv)
 
     Table t("Dynamic-fault campaign (" +
             std::to_string(cc.trials) + " trials, load 0.15)");
-    t.setHeader({"trials", "accounted", "deadlocks", "accepted",
-                 "delivered", "refused", "pending", "dups",
-                 "delivery_rate", "pre_lat", "post_lat",
-                 "recovery_mean", "recovery_max"});
+    t.setHeader({"trials", "accounted", "deadlocks", "quarantined",
+                 "resumed", "accepted", "delivered", "refused",
+                 "pending", "dups", "delivery_rate", "pre_lat",
+                 "post_lat", "recovery_mean", "recovery_max"});
     t.addRow({Table::cell(std::uint64_t{s.trials}),
               Table::cell(std::uint64_t{s.accountedTrials}),
               Table::cell(std::uint64_t{s.deadlockedTrials}),
+              Table::cell(std::uint64_t{s.quarantinedTrials}),
+              Table::cell(std::uint64_t{s.resumedTrials}),
               Table::cell(s.accepted), Table::cell(s.delivered),
               Table::cell(s.refused), Table::cell(s.pending),
               Table::cell(s.duplicates),
@@ -82,7 +94,7 @@ main(int argc, char** argv)
     std::cout << "trial,seed,accepted,delivered,refused,pending,dups,"
               << "fault_events,flits_lost,rcv_timeouts,first_fault,"
               << "pre_lat,post_lat,recovery,deadlocked,accounted,"
-              << "cycles\n";
+              << "cycles,quarantined,budget_retries\n";
     for (const TrialOutcome& tr : trials) {
         std::cout << tr.trial << ',' << tr.seed << ',' << tr.accepted
                   << ',' << tr.delivered << ',' << tr.refused << ','
@@ -93,7 +105,8 @@ main(int argc, char** argv)
                   << tr.postFaultLatency << ',' << tr.recoveryCycles
                   << ',' << (tr.deadlocked ? 1 : 0) << ','
                   << (tr.fullyAccounted ? 1 : 0) << ',' << tr.cyclesRun
-                  << "\n";
+                  << ',' << (tr.quarantined ? 1 : 0) << ','
+                  << tr.budgetRetries << "\n";
     }
     std::cout << "\n";
 

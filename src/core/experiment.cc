@@ -8,6 +8,7 @@
 #include "src/core/annotations.hh"
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
+#include "src/sim/snapshot.hh"
 #include "src/sim/trace.hh"
 #include "src/sim/walltime.hh"
 
@@ -85,17 +86,12 @@ summarize(const Network& net, bool drained, Cycle cycles)
     return r;
 }
 
+namespace {
+
+/** Measurement window + drain over an already-warm network. */
 RunResult
-runExperiment(const SimConfig& cfg)
+measureAndDrain(Network& net, const SimConfig& cfg)
 {
-    const WallTimer timer;
-    Network net(cfg);
-
-    // Warmup: traffic flows, nothing is tagged.
-    net.setMeasuring(false);
-    net.run(cfg.warmupCycles);
-
-    // Measurement window.
     net.setMeasuring(true);
     net.run(cfg.measureCycles);
     net.setMeasuring(false);
@@ -112,7 +108,22 @@ runExperiment(const SimConfig& cfg)
         spent += step;
         drained = net.measuredDrained();
     }
-    RunResult r = summarize(net, drained, net.now());
+    return summarize(net, drained, net.now());
+}
+
+} // namespace
+
+RunResult
+runExperiment(const SimConfig& cfg)
+{
+    const WallTimer timer;
+    Network net(cfg);
+
+    // Warmup: traffic flows, nothing is tagged.
+    net.setMeasuring(false);
+    net.run(cfg.warmupCycles);
+
+    RunResult r = measureAndDrain(net, cfg);
     r.wallSeconds = timer.seconds();
     return r;
 }
@@ -147,6 +158,39 @@ sweepLoads(SimConfig cfg, const std::vector<double>& loads)
     return runMany(points);
 }
 
+namespace {
+
+/** Fold independent runs into the replication summary (input order). */
+ReplicatedResult
+foldReplications(const std::vector<RunResult>& runs)
+{
+    Accumulator lat, thr, kills;
+    ReplicatedResult out;
+    out.replications = static_cast<std::uint32_t>(runs.size());
+    for (const RunResult& r : runs) {
+        lat.add(r.avgLatency);
+        thr.add(r.acceptedThroughput);
+        kills.add(r.killsPerMessage);
+        out.allDrained = out.allDrained && r.drained;
+        out.anyDeadlock = out.anyDeadlock || r.deadlocked;
+        out.flitEvents += r.flitEvents;
+    }
+    const double root_n =
+        std::sqrt(static_cast<double>(runs.size()));
+    out.meanLatency = lat.mean();
+    out.meanThroughput = thr.mean();
+    out.meanKillsPerMessage = kills.mean();
+    // A single replication has no spread to estimate: the interval is
+    // exactly 0, not a degenerate one-sample stddev.
+    if (runs.size() > 1) {
+        out.latencyCi95 = 1.96 * lat.stddev() / root_n;
+        out.throughputCi95 = 1.96 * thr.stddev() / root_n;
+    }
+    return out;
+}
+
+} // namespace
+
 ReplicatedResult
 runReplicated(SimConfig cfg, std::uint32_t replications)
 {
@@ -157,28 +201,50 @@ runReplicated(SimConfig cfg, std::uint32_t replications)
     for (std::uint32_t i = 0; i < replications; ++i)
         points[i].seed = cfg.seed + i;
     const std::vector<RunResult> runs = runMany(points);
+    ReplicatedResult out = foldReplications(runs);
+    out.wallSeconds = timer.seconds();
+    return out;
+}
 
-    Accumulator lat, thr, kills;
-    ReplicatedResult out;
-    out.replications = replications;
-    for (const RunResult& r : runs) {
-        lat.add(r.avgLatency);
-        thr.add(r.acceptedThroughput);
-        kills.add(r.killsPerMessage);
-        out.allDrained = out.allDrained && r.drained;
-        out.anyDeadlock = out.anyDeadlock || r.deadlocked;
-        out.flitEvents += r.flitEvents;
+ReplicatedResult
+runReplicatedWarm(SimConfig cfg, std::uint32_t replications)
+{
+    if (replications == 0)
+        fatal("runReplicatedWarm needs at least one replication");
+    const WallTimer timer;
+
+    // Shared warmup: drain one network to steady state and snapshot
+    // it in memory. Every replication forks from these bytes.
+    Snapshot warm;
+    {
+        Network net(cfg);
+        net.setMeasuring(false);
+        net.run(cfg.warmupCycles);
+        warm = captureSnapshot(net);
     }
-    const double root_n = std::sqrt(static_cast<double>(replications));
-    out.meanLatency = lat.mean();
-    out.meanThroughput = thr.mean();
-    out.meanKillsPerMessage = kills.mean();
-    // A single replication has no spread to estimate: the interval is
-    // exactly 0, not a degenerate one-sample stddev.
-    if (replications > 1) {
-        out.latencyCi95 = 1.96 * lat.stddev() / root_n;
-        out.throughputCi95 = 1.96 * thr.stddev() / root_n;
-    }
+
+    std::vector<RunResult> runs(replications);
+    parallelFor(replications, resolveJobs(cfg.jobs),
+                [&](std::size_t i) {
+                    // Per-fork trace sink, mirroring runMany: jobs=N
+                    // writes N distinct files.
+                    SimConfig forked = cfg;
+                    if (replications > 1) {
+                        const std::string prefix =
+                            Tracer::resolvePrefix(forked);
+                        if (!prefix.empty())
+                            forked.traceFile =
+                                prefix + "_run" + std::to_string(i);
+                    }
+                    Network net(forked);
+                    const std::string err =
+                        restoreSnapshot(net, warm);
+                    if (!err.empty())
+                        fatal("warm-start restore failed: ", err);
+                    net.reseedStreams(cfg.seed + i);
+                    runs[i] = measureAndDrain(net, forked);
+                });
+    ReplicatedResult out = foldReplications(runs);
     out.wallSeconds = timer.seconds();
     return out;
 }

@@ -8,6 +8,7 @@
 #include "src/core/timeseries.hh"
 #include "src/fault/campaign.hh"
 #include "src/sim/log.hh"
+#include "src/sim/snapshot.hh"
 #include "src/sim/trace.hh"
 
 namespace crnet {
@@ -1079,6 +1080,371 @@ Network::measuredDrained() const
     return stats_.measuredDelivered.value() +
                stats_.measuredFailed.value() >=
            measuredCreated_;
+}
+
+// --- Checkpoint/restore ------------------------------------------------
+//
+// Field order is the contract: saveState and loadState must mirror
+// each other exactly, and any change to either requires bumping
+// kSnapshotVersion (docs/ROBUSTNESS.md). Unordered containers are
+// serialized in sorted key order so the payload bytes are independent
+// of hash-table layout.
+
+CRNET_ALLOW("unordered-iter",
+            "explicit-send maps are snapshotted into sorted MsgId "
+            "order before serialization; every other container is "
+            "ordered already")
+void
+Network::saveState(StateWriter& w) const
+{
+    saveNetworkStats(w, stats_);
+    faults_->saveState(w);
+    generator_->saveState(w);
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id)
+        routers_[id]->saveState(w);
+    for (NodeId id = 0; id < n; ++id)
+        injectors_[id]->saveState(w);
+    for (NodeId id = 0; id < n; ++id)
+        receivers_[id]->saveState(w);
+
+    // Wave buckets, in vector-index order; restoring now_ keeps the
+    // (now_ + delay) & mask indexing consistent.
+    w.u64(buckets_.size());
+    for (const Wave& wave : buckets_) {
+        w.u64(wave.flits.size());
+        for (const PendingFlit& pf : wave.flits) {
+            w.u32(pf.node);
+            w.u16(pf.inPort);
+            w.u16(pf.vc);
+            saveFlit(w, pf.flit);
+            w.b(pf.networkHop);
+        }
+        w.u64(wave.recvFlits.size());
+        for (const PendingRecvFlit& pf : wave.recvFlits) {
+            w.u32(pf.node);
+            w.u32(pf.ejChannel);
+            w.u16(pf.vc);
+            saveFlit(w, pf.flit);
+        }
+        w.u64(wave.credits.size());
+        for (const PendingCredit& pc : wave.credits) {
+            w.u32(pc.node);
+            w.u16(pc.outPort);
+            w.u16(pc.vc);
+        }
+        w.u64(wave.injCredits.size());
+        for (const PendingInjCredit& pc : wave.injCredits) {
+            w.u32(pc.node);
+            w.u32(pc.injChannel);
+            w.u16(pc.vc);
+        }
+        w.u64(wave.bkills.size());
+        for (const PendingBkill& pb : wave.bkills) {
+            w.u32(pb.node);
+            w.u16(pb.outPort);
+            w.u16(pb.vc);
+        }
+        w.u64(wave.aborts.size());
+        for (const PendingAbort& pa : wave.aborts) {
+            w.u32(pa.node);
+            w.u32(pa.injChannel);
+            w.u16(pa.vc);
+            w.u64(pa.msg);
+        }
+    }
+
+    // Active-set scheduler: wake flags and deadline arrays. The heaps
+    // are rebuilt from the nextAt arrays on load — stale heap entries
+    // only produce no-op wakes, which are state-invariant by the
+    // sweep-equivalence contract.
+    for (NodeId id = 0; id < n; ++id)
+        w.u8(injAwake_[id]);
+    for (NodeId id = 0; id < n; ++id)
+        w.u8(rtrAwake_[id]);
+    for (NodeId id = 0; id < n; ++id)
+        w.u8(rcvAwake_[id]);
+    for (NodeId id = 0; id < n; ++id)
+        w.u64(injNextAt_[id]);
+    for (NodeId id = 0; id < n; ++id)
+        w.u64(rcvNextAt_[id]);
+
+    w.u64(now_);
+    w.b(trafficEnabled_);
+    w.b(measuring_);
+    w.u64(measuredCreated_);
+    w.u64(lastActivity_);
+    w.u64(lastActivityLevel_);
+    w.b(forensicsDumped_);
+
+    w.b(dynamicFaults_);
+    w.b(schedule_ != nullptr);
+    if (schedule_ != nullptr)
+        schedule_->saveState(w);
+
+    w.b(ledger_ != nullptr);
+    if (ledger_ != nullptr) {
+        StateWriter inner;
+        ledger_->saveState(inner);
+        w.block(inner);
+    }
+
+    w.b(audit_ != nullptr);
+#if CRNET_AUDIT_ENABLED
+    if (audit_ != nullptr)
+        audit_->saveState(w);
+#endif
+
+    // Length-prefixed: the restore side may legitimately run without
+    // a tracer (traceFile is excluded from the fingerprint) and then
+    // skips the block wholesale.
+    w.b(trace_ != nullptr);
+    if (trace_ != nullptr) {
+        StateWriter inner;
+        trace_->saveState(inner);
+        w.block(inner);
+    }
+
+    w.b(timeseries_ != nullptr);
+    if (timeseries_ != nullptr)
+        timeseries_->saveState(w);
+
+    std::vector<MsgId> manual;
+    manual.reserve(manualDelivered_.size());
+    for (const auto& entry : manualDelivered_)
+        manual.push_back(entry.first);
+    std::sort(manual.begin(), manual.end());
+    w.u64(manual.size());
+    for (MsgId id : manual) {
+        const DeliveredMessage& d = manualDelivered_.at(id);
+        w.u64(id);
+        w.u64(d.id);
+        w.u32(d.src);
+        w.u32(d.dst);
+        w.u32(d.payloadLen);
+        w.u32(d.pairSeq);
+        w.u64(d.createdAt);
+        w.u64(d.headInjectedAt);
+        w.u64(d.deliveredAt);
+        w.u16(d.attempts);
+        w.b(d.measured);
+        w.b(d.corrupted);
+    }
+    manual.clear();
+    for (const auto& entry : manualPending_)
+        manual.push_back(entry.first);
+    std::sort(manual.begin(), manual.end());
+    w.u64(manual.size());
+    for (MsgId id : manual) {
+        w.u64(id);
+        w.b(manualPending_.at(id));
+    }
+}
+
+void
+Network::loadState(StateReader& r)
+{
+    loadNetworkStats(r, stats_);
+    faults_->loadState(r);
+    generator_->loadState(r);
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id)
+        routers_[id]->loadState(r);
+    for (NodeId id = 0; id < n; ++id)
+        injectors_[id]->loadState(r);
+    for (NodeId id = 0; id < n; ++id)
+        receivers_[id]->loadState(r);
+
+    const std::uint64_t numBuckets = r.u64();
+    if (numBuckets != buckets_.size())
+        panic("wave-bucket count mismatch on restore: saved ",
+              numBuckets, ", have ", buckets_.size());
+    for (Wave& wave : buckets_) {
+        wave.clear();
+        const std::uint64_t numFlits = r.u64();
+        for (std::uint64_t i = 0; i < numFlits; ++i) {
+            PendingFlit pf;
+            pf.node = r.u32();
+            pf.inPort = r.u16();
+            pf.vc = r.u16();
+            loadFlit(r, pf.flit);
+            pf.networkHop = r.b();
+            wave.flits.push_back(pf);
+        }
+        const std::uint64_t numRecv = r.u64();
+        for (std::uint64_t i = 0; i < numRecv; ++i) {
+            PendingRecvFlit pf;
+            pf.node = r.u32();
+            pf.ejChannel = r.u32();
+            pf.vc = r.u16();
+            loadFlit(r, pf.flit);
+            wave.recvFlits.push_back(pf);
+        }
+        const std::uint64_t numCredits = r.u64();
+        for (std::uint64_t i = 0; i < numCredits; ++i) {
+            PendingCredit pc;
+            pc.node = r.u32();
+            pc.outPort = r.u16();
+            pc.vc = r.u16();
+            wave.credits.push_back(pc);
+        }
+        const std::uint64_t numInjCredits = r.u64();
+        for (std::uint64_t i = 0; i < numInjCredits; ++i) {
+            PendingInjCredit pc;
+            pc.node = r.u32();
+            pc.injChannel = r.u32();
+            pc.vc = r.u16();
+            wave.injCredits.push_back(pc);
+        }
+        const std::uint64_t numBkills = r.u64();
+        for (std::uint64_t i = 0; i < numBkills; ++i) {
+            PendingBkill pb;
+            pb.node = r.u32();
+            pb.outPort = r.u16();
+            pb.vc = r.u16();
+            wave.bkills.push_back(pb);
+        }
+        const std::uint64_t numAborts = r.u64();
+        for (std::uint64_t i = 0; i < numAborts; ++i) {
+            PendingAbort pa;
+            pa.node = r.u32();
+            pa.injChannel = r.u32();
+            pa.vc = r.u16();
+            pa.msg = r.u64();
+            wave.aborts.push_back(pa);
+        }
+    }
+
+    for (NodeId id = 0; id < n; ++id)
+        injAwake_[id] = r.u8();
+    for (NodeId id = 0; id < n; ++id)
+        rtrAwake_[id] = r.u8();
+    for (NodeId id = 0; id < n; ++id)
+        rcvAwake_[id] = r.u8();
+    for (NodeId id = 0; id < n; ++id)
+        injNextAt_[id] = r.u64();
+    for (NodeId id = 0; id < n; ++id)
+        rcvNextAt_[id] = r.u64();
+
+    now_ = r.u64();
+    trafficEnabled_ = r.b();
+    measuring_ = r.b();
+    measuredCreated_ = r.u64();
+    lastActivity_ = r.u64();
+    lastActivityLevel_ = r.u64();
+    forensicsDumped_ = r.b();
+
+    // Rebuild the deadline heaps from the deduplicated nextAt arrays:
+    // one live entry per sleeping component. The saved run's stale
+    // heap entries are not reproduced — they pop as no-op wakes,
+    // which cannot change state (sweep equivalence).
+    injDeadlines_ = DeadlineHeap();
+    rcvDeadlines_ = DeadlineHeap();
+    for (NodeId id = 0; id < n; ++id)
+        if (injNextAt_[id] != kNeverCycle)
+            injDeadlines_.push({injNextAt_[id], id});
+    for (NodeId id = 0; id < n; ++id)
+        if (rcvNextAt_[id] != kNeverCycle)
+            rcvDeadlines_.push({rcvNextAt_[id], id});
+    dueEvents_.clear();
+
+    dynamicFaults_ = r.b();
+    const bool hadSchedule = r.b();
+    if (hadSchedule) {
+        // Runtime-armed dynamic faults (injectFaultEvent) may have
+        // created a schedule the config alone would not.
+        if (schedule_ == nullptr)
+            schedule_ = std::make_unique<FaultSchedule>();
+        schedule_->loadState(r);
+    } else {
+        schedule_.reset();
+    }
+
+    const bool hadLedger = r.b();
+    if (hadLedger) {
+        const std::uint64_t len = r.u64();
+        if (ledger_ != nullptr) {
+            const std::size_t before = r.remaining();
+            ledger_->loadState(r);
+            if (before - r.remaining() != len)
+                panic("ledger block size mismatch on restore");
+        } else {
+            warn("snapshot carries a delivery ledger but none is "
+                 "attached; skipping it");
+            r.skip(len);
+        }
+    }
+
+    const bool hadAudit = r.b();
+    if (hadAudit != (audit_ != nullptr))
+        panic("audit-build mismatch on restore (saved ", hadAudit,
+              ", have ", audit_ != nullptr, ")");
+#if CRNET_AUDIT_ENABLED
+    if (audit_ != nullptr)
+        audit_->loadState(r);
+#endif
+
+    const bool hadTracer = r.b();
+    if (hadTracer) {
+        const std::uint64_t len = r.u64();
+        if (trace_ != nullptr) {
+            const std::size_t before = r.remaining();
+            trace_->loadState(r);
+            if (before - r.remaining() != len)
+                panic("tracer block size mismatch on restore");
+        } else {
+            r.skip(len);
+        }
+    }
+
+    const bool hadTimeseries = r.b();
+    if (hadTimeseries != (timeseries_ != nullptr))
+        panic("timeseries presence mismatch on restore (saved ",
+              hadTimeseries, ", have ", timeseries_ != nullptr,
+              "); sample_interval is part of the fingerprint");
+    if (timeseries_ != nullptr)
+        timeseries_->loadState(r);
+
+    manualDelivered_.clear();
+    const std::uint64_t numManual = r.u64();
+    for (std::uint64_t i = 0; i < numManual; ++i) {
+        const MsgId key = r.u64();
+        DeliveredMessage d;
+        d.id = r.u64();
+        d.src = r.u32();
+        d.dst = r.u32();
+        d.payloadLen = r.u32();
+        d.pairSeq = r.u32();
+        d.createdAt = r.u64();
+        d.headInjectedAt = r.u64();
+        d.deliveredAt = r.u64();
+        d.attempts = r.u16();
+        d.measured = r.b();
+        d.corrupted = r.b();
+        manualDelivered_.emplace(key, d);
+    }
+    manualPending_.clear();
+    const std::uint64_t numPending = r.u64();
+    for (std::uint64_t i = 0; i < numPending; ++i) {
+        const MsgId key = r.u64();
+        manualPending_.emplace(key, r.b());
+    }
+}
+
+void
+Network::reseedStreams(std::uint64_t seed)
+{
+    // Exactly the constructor's fork order (the schedule fork is
+    // deliberately skipped: a warm-started measure phase keeps the
+    // restored fault timeline).
+    Rng root(seed);
+    faults_->setRng(root.fork());
+    generator_->setRng(root.fork());
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        routers_[id]->setRng(root.fork());
+        injectors_[id]->setRng(root.fork());
+    }
 }
 
 } // namespace crnet

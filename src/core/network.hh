@@ -40,6 +40,8 @@ namespace crnet {
 class DeliveryLedger;
 class Tracer;
 class TimeSeries;
+class StateWriter;
+class StateReader;
 
 /** A complete simulated network. */
 class Network : public DeliverySink, public MessageFailureSink
@@ -172,6 +174,36 @@ class Network : public DeliverySink, public MessageFailureSink
      */
     CRNET_RESULT_AFFECTING
     void dumpOccupancy(std::ostream& os) const;
+
+    // --- Checkpoint/restore (see docs/ROBUSTNESS.md) ------------------
+
+    /**
+     * Serialize every field the tick mutates — stats, RNG streams,
+     * wave buckets, router/NIC state, scheduler flags and deadline
+     * arrays, sidecars (tracer/timeseries/auditor) and the attached
+     * ledger — in a fixed, sorted, little-endian layout. Prefer
+     * captureSnapshot()/restoreSnapshot() (snapshot.hh), which add
+     * the version/fingerprint envelope.
+     */
+    CRNET_RESULT_AFFECTING
+    void saveState(StateWriter& w) const;
+
+    /**
+     * Overwrite this network's mutable state from a saveState()
+     * payload. The network must have been constructed from a config
+     * with the same configFingerprint(); continuing afterwards is
+     * byte-identical to the uninterrupted run.
+     */
+    CRNET_RESULT_AFFECTING
+    void loadState(StateReader& r);
+
+    /**
+     * Re-fork every RNG stream from a fresh root seed, in exactly the
+     * constructor's fork order (warm-start forking: restore one
+     * drained-to-steady-state snapshot many times, then give each
+     * fork its own measurement randomness).
+     */
+    void reseedStreams(std::uint64_t seed);
 
     // DeliverySink
     void onDelivered(const DeliveredMessage& msg) override;

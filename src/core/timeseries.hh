@@ -27,6 +27,8 @@
 namespace crnet {
 
 struct NetworkStats;
+class StateWriter;
+class StateReader;
 
 /** One sampling interval's deltas plus end-of-interval gauges. */
 struct TimeSeriesSample
@@ -68,6 +70,10 @@ class TimeSeries
     {
         return samples_;
     }
+
+    /** Checkpoint support: samples plus the differencing baseline. */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     Cycle interval_;

@@ -1,10 +1,13 @@
 #include "src/fault/campaign.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "src/core/network.hh"
+#include "src/sim/checksum.hh"
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
+#include "src/sim/snapshot.hh"
 #include "src/sim/walltime.hh"
 
 namespace crnet {
@@ -85,11 +88,75 @@ DeliveryLedger::sortedEntries() const
     return sorted;
 }
 
+CRNET_ALLOW("unordered-iter",
+            "serializes via sortedEntries(), so the snapshot bytes "
+            "never depend on hash order")
+void
+DeliveryLedger::saveState(StateWriter& w) const
+{
+    const auto sorted = sortedEntries();
+    w.u64(sorted.size());
+    for (const auto& entry : sorted) {
+        w.u64(entry.first);
+        const LedgerEntry& e = *entry.second;
+        w.u32(e.src);
+        w.u32(e.dst);
+        w.u64(e.createdAt);
+        w.b(e.measured);
+        w.u8(static_cast<std::uint8_t>(e.fate));
+        w.u64(e.resolvedAt);
+        w.u16(e.attempts);
+        w.b(e.corrupted);
+        w.b(e.deliveredAfterRefusal);
+    }
+    w.u64(delivered_);
+    w.u64(refused_);
+    w.u64(duplicates_);
+    w.u64(unknown_);
+    w.u64(corrupted_);
+    w.u64(refusalRaces_);
+}
+
+void
+DeliveryLedger::loadState(StateReader& r)
+{
+    entries_.clear();
+    const std::uint64_t count = r.u64();
+    entries_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const MsgId id = r.u64();
+        LedgerEntry e;
+        e.src = r.u32();
+        e.dst = r.u32();
+        e.createdAt = r.u64();
+        e.measured = r.b();
+        e.fate = static_cast<MessageFate>(r.u8());
+        e.resolvedAt = r.u64();
+        e.attempts = r.u16();
+        e.corrupted = r.b();
+        e.deliveredAfterRefusal = r.b();
+        entries_.emplace(id, e);
+    }
+    delivered_ = r.u64();
+    refused_ = r.u64();
+    duplicates_ = r.u64();
+    unknown_ = r.u64();
+    corrupted_ = r.u64();
+    refusalRaces_ = r.u64();
+}
+
 namespace {
 
+/**
+ * One attempt of one trial under a given drain budget. Sets
+ * `*budget_exhausted` when the drain loop hit the cap while the
+ * network was still active (neither quiescent nor deadlocked) — the
+ * signal the watchdog retries on.
+ */
 CRNET_RESULT_AFFECTING
 TrialOutcome
-runTrial(const CampaignConfig& cc, std::uint32_t trial)
+runTrialOnce(const CampaignConfig& cc, std::uint32_t trial,
+             Cycle drain_cap, bool* budget_exhausted)
 {
     SimConfig cfg = cc.base;
     cfg.seed = cc.seedBase + trial;
@@ -110,11 +177,12 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
     // final step is clamped so the drain cap is honored exactly.
     Cycle drained = 0;
     while (!net.quiescent() && !net.deadlocked() &&
-           drained < cc.drainCap) {
-        const Cycle step = std::min<Cycle>(64, cc.drainCap - drained);
+           drained < drain_cap) {
+        const Cycle step = std::min<Cycle>(64, drain_cap - drained);
         net.run(step);
         drained += step;
     }
+    *budget_exhausted = !net.quiescent() && !net.deadlocked();
 
     TrialOutcome t;
     t.trial = trial;
@@ -168,6 +236,246 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
     return t;
 }
 
+/**
+ * Watchdog wrapper: a trial that exhausts its drain budget while
+ * still active is re-run with a doubled cap, up to cc.trialRetries
+ * times; one that exhausts every retry is quarantined. Deterministic
+ * (the retry ladder depends only on the config), so a resumed
+ * campaign replays the exact same fates.
+ */
+CRNET_RESULT_AFFECTING
+TrialOutcome
+runTrial(const CampaignConfig& cc, std::uint32_t trial)
+{
+    TrialOutcome t;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        const Cycle cap = cc.drainCap << attempt;
+        bool exhausted = false;
+        t = runTrialOnce(cc, trial, cap, &exhausted);
+        t.budgetRetries = attempt;
+        if (!exhausted)
+            return t;
+        if (attempt >= cc.trialRetries) {
+            t.quarantined = true;
+            t.fullyAccounted = false;
+            warn("campaign trial ", trial, " (seed ", t.seed,
+                 ") still active after ", attempt + 1,
+                 " drain budgets up to ", cap,
+                 " cycles; quarantining it");
+            return t;
+        }
+        warn("campaign trial ", trial, " (seed ", t.seed,
+             ") exhausted its ", cap,
+             "-cycle drain budget; retrying with double the budget");
+    }
+}
+
+// --- Crash-resume journal ----------------------------------------------
+//
+// Layout: 8-byte magic "CRNETJNL", then CRC-guarded records of
+//   u32 type | u32 payloadLen | payload | u32 crc32(payload)
+// Record 0 is the header (journal version + campaign fingerprint);
+// every subsequent record is one completed TrialOutcome. Appends go
+// through read + append + atomicWriteFile, so a crash mid-append
+// leaves the previous journal intact; a torn or corrupted tail is
+// detected by the CRC and dropped with a warning on replay.
+
+constexpr char kJournalMagic[8] = {'C', 'R', 'N', 'E',
+                                   'T', 'J', 'N', 'L'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::uint32_t kRecordHeader = 0;
+constexpr std::uint32_t kRecordTrial = 1;
+
+/** Campaign identity: the base config plus every campaign knob. */
+std::uint64_t
+campaignFingerprint(const CampaignConfig& cc)
+{
+    StateWriter w;
+    w.u64(configFingerprint(cc.base));
+    w.u32(cc.trials);
+    w.u64(cc.seedBase);
+    w.u64(cc.drainCap);
+    w.u32(cc.trialRetries);
+    const std::vector<std::uint8_t>& bytes = w.bytes();
+    const std::uint32_t lo = crc32(bytes.data(), bytes.size());
+    const std::uint32_t hi = crc32(bytes.data(), bytes.size(), lo);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+void
+saveTrial(StateWriter& w, const TrialOutcome& t)
+{
+    w.u32(t.trial);
+    w.u64(t.seed);
+    w.u64(t.accepted);
+    w.u64(t.delivered);
+    w.u64(t.refused);
+    w.u64(t.pendingAtEnd);
+    w.u64(t.duplicates);
+    w.u64(t.faultEvents);
+    w.u64(t.flitsLost);
+    w.u64(t.receiverTimeouts);
+    w.u64(t.firstFaultAt);
+    w.f64(t.preFaultLatency);
+    w.f64(t.postFaultLatency);
+    w.u64(t.recoveryCycles);
+    w.b(t.deadlocked);
+    w.b(t.fullyAccounted);
+    w.u64(t.cyclesRun);
+    w.u64(t.flitEvents);
+    w.b(t.quarantined);
+    w.u32(t.budgetRetries);
+}
+
+TrialOutcome
+loadTrial(StateReader& r)
+{
+    TrialOutcome t;
+    t.trial = r.u32();
+    t.seed = r.u64();
+    t.accepted = r.u64();
+    t.delivered = r.u64();
+    t.refused = r.u64();
+    t.pendingAtEnd = r.u64();
+    t.duplicates = r.u64();
+    t.faultEvents = r.u64();
+    t.flitsLost = r.u64();
+    t.receiverTimeouts = r.u64();
+    t.firstFaultAt = r.u64();
+    t.preFaultLatency = r.f64();
+    t.postFaultLatency = r.f64();
+    t.recoveryCycles = r.u64();
+    t.deadlocked = r.b();
+    t.fullyAccounted = r.b();
+    t.cyclesRun = r.u64();
+    t.flitEvents = r.u64();
+    t.quarantined = r.b();
+    t.budgetRetries = r.u32();
+    return t;
+}
+
+void
+appendRecord(StateWriter& file, std::uint32_t type,
+             const StateWriter& payload)
+{
+    file.u32(type);
+    file.u32(static_cast<std::uint32_t>(payload.bytes().size()));
+    const std::vector<std::uint8_t>& bytes = payload.bytes();
+    for (std::uint8_t byte : bytes)
+        file.u8(byte);
+    file.u32(crc32(bytes.data(), bytes.size()));
+}
+
+/** A fresh journal: magic + header record. */
+std::vector<std::uint8_t>
+freshJournal(std::uint64_t fingerprint)
+{
+    StateWriter file;
+    for (char c : kJournalMagic)
+        file.u8(static_cast<std::uint8_t>(c));
+    StateWriter header;
+    header.u32(kJournalVersion);
+    header.u64(fingerprint);
+    appendRecord(file, kRecordHeader, header);
+    return file.bytes();
+}
+
+/**
+ * Replay a journal into `trials`/`have` (sized cc.trials). Returns
+ * the number of trials replayed. A missing file, bad magic or corrupt
+ * header is a cold start (fresh journal bytes are left in
+ * `journal_bytes`); a valid header whose fingerprint differs from
+ * this campaign's is fatal — resuming a *different* campaign into
+ * this one is user error, not corruption. A corrupt or truncated
+ * record tail keeps the good prefix with a warning.
+ */
+std::uint32_t
+replayJournal(const CampaignConfig& cc, std::uint64_t fingerprint,
+              std::vector<TrialOutcome>& trials,
+              std::vector<std::uint8_t>& have,
+              std::vector<std::uint8_t>& journal_bytes)
+{
+    journal_bytes = freshJournal(fingerprint);
+    std::vector<std::uint8_t> file;
+    if (!readFileBytes(cc.journalPath, file).empty())
+        return 0;  // Missing or unreadable: cold start.
+
+    StateReader r(file);
+    bool magicOk = r.remaining() >= sizeof(kJournalMagic);
+    if (magicOk)
+        for (char c : kJournalMagic)
+            if (r.u8() != static_cast<std::uint8_t>(c))
+                magicOk = false;
+    if (!magicOk) {
+        warn("campaign journal ", cc.journalPath,
+             " has a bad magic number; starting fresh");
+        return 0;
+    }
+
+    std::uint32_t replayed = 0;
+    std::size_t goodEnd = file.size() - r.remaining();
+    bool sawHeader = false;
+    while (r.remaining() > 0) {
+        if (r.remaining() < 8)
+            break;  // Torn mid-frame.
+        const std::uint32_t type = r.u32();
+        const std::uint32_t len = r.u32();
+        if (r.remaining() < static_cast<std::uint64_t>(len) + 4)
+            break;  // Torn mid-payload.
+        const std::size_t payloadAt = file.size() - r.remaining();
+        StateReader payload(file.data() + payloadAt, len);
+        r.skip(len);
+        const std::uint32_t want = r.u32();
+        if (crc32(file.data() + payloadAt, len) != want)
+            break;  // Corrupted record; drop it and the rest.
+        if (!sawHeader) {
+            if (type != kRecordHeader)
+                break;
+            const std::uint32_t version = payload.u32();
+            if (version != kJournalVersion) {
+                warn("campaign journal ", cc.journalPath,
+                     " has record version ", version,
+                     "; this build writes version ", kJournalVersion,
+                     " — starting fresh");
+                return 0;
+            }
+            const std::uint64_t theirs = payload.u64();
+            if (theirs != fingerprint)
+                fatal("campaign journal ", cc.journalPath,
+                      " belongs to a different campaign (fingerprint ",
+                      theirs, ", expected ", fingerprint,
+                      "); refusing to resume — delete the journal to "
+                      "start over");
+            sawHeader = true;
+        } else if (type == kRecordTrial) {
+            const TrialOutcome t = loadTrial(payload);
+            if (t.trial < cc.trials) {
+                if (!have[t.trial])
+                    ++replayed;
+                trials[t.trial] = t;
+                have[t.trial] = 1;
+            } else {
+                warn("campaign journal ", cc.journalPath,
+                     " records trial ", t.trial, " beyond ",
+                     cc.trials, " trials; ignoring it");
+            }
+        }
+        // Unknown record types are skipped (forward compatibility).
+        goodEnd = file.size() - r.remaining();
+    }
+    if (goodEnd < file.size())
+        warn("campaign journal ", cc.journalPath, " has ",
+             file.size() - goodEnd,
+             " corrupt or torn trailing bytes; resuming from the ",
+             replayed, " intact trial records");
+    if (!sawHeader)
+        return 0;
+    journal_bytes.assign(file.begin(),
+                         file.begin() +
+                             static_cast<std::ptrdiff_t>(goodEnd));
+    return replayed;
+}
+
 } // namespace
 
 CampaignSummary
@@ -177,15 +485,55 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
     CampaignSummary s;
     s.trials = cc.trials;
 
+    std::vector<TrialOutcome> trials(cc.trials);
+    std::vector<std::uint8_t> have(cc.trials, 0);
+
+    // Crash-resume: replay completed trials from the journal, then
+    // run only the missing ones, appending each durably as it lands.
+    const bool journaled = !cc.journalPath.empty();
+    std::vector<std::uint8_t> journalBytes;
+    std::mutex journalMutex;
+    if (journaled) {
+        const std::uint64_t fp = campaignFingerprint(cc);
+        s.resumedTrials =
+            replayJournal(cc, fp, trials, have, journalBytes);
+        if (s.resumedTrials > 0)
+            inform("campaign journal ", cc.journalPath, ": resuming "
+                   "with ", s.resumedTrials, " of ", cc.trials,
+                   " trials replayed");
+        const std::string err =
+            atomicWriteFile(cc.journalPath, journalBytes);
+        if (!err.empty())
+            fatal("cannot write campaign journal: ", err);
+    }
+
     // Trials are fully independent (each owns its Network, Rng and
     // ledger), so fan them out and aggregate in trial order — the
     // summary and the per-trial rows match a sequential campaign
-    // bit for bit.
-    std::vector<TrialOutcome> trials(cc.trials);
+    // (and a resumed one) bit for bit regardless of completion order.
     parallelFor(cc.trials, resolveJobs(cc.base.jobs),
                 [&](std::size_t trial) {
+                    if (have[trial])
+                        return;
                     trials[trial] = runTrial(
                         cc, static_cast<std::uint32_t>(trial));
+                    if (!journaled)
+                        return;
+                    StateWriter payload;
+                    saveTrial(payload, trials[trial]);
+                    const std::lock_guard<std::mutex> lock(
+                        journalMutex);
+                    StateWriter record;
+                    appendRecord(record, kRecordTrial, payload);
+                    journalBytes.insert(journalBytes.end(),
+                                        record.bytes().begin(),
+                                        record.bytes().end());
+                    const std::string err = atomicWriteFile(
+                        cc.journalPath, journalBytes);
+                    if (!err.empty())
+                        warn("cannot append to campaign journal: ",
+                             err, " (trial ", trial,
+                             " will re-run after a crash)");
                 });
 
     double pre_sum = 0.0, post_sum = 0.0, rec_sum = 0.0;
@@ -195,6 +543,8 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
             ++s.accountedTrials;
         if (t.deadlocked)
             ++s.deadlockedTrials;
+        if (t.quarantined)
+            ++s.quarantinedTrials;
         s.accepted += t.accepted;
         s.delivered += t.delivered;
         s.refused += t.refused;

@@ -34,6 +34,9 @@
 
 namespace crnet {
 
+class StateWriter;
+class StateReader;
+
 /** Terminal state of one accepted message. */
 enum class MessageFate : std::uint8_t {
     Pending,    //!< Accepted, not yet resolved (bad if final).
@@ -109,6 +112,12 @@ class DeliveryLedger
     std::vector<std::pair<MsgId, const LedgerEntry*>>
     sortedEntries() const;
 
+    // --- Checkpoint support (snapshot.hh) -----------------------------
+
+    /** Entries in sorted MsgId order, then the derived counters. */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
   private:
     std::unordered_map<MsgId, LedgerEntry> entries_;
     std::uint64_t delivered_ = 0;
@@ -126,6 +135,21 @@ struct CampaignConfig
     std::uint32_t trials = 100;
     std::uint64_t seedBase = 1;    //!< Trial t runs seed seedBase + t.
     Cycle drainCap = 500000;       //!< Max extra cycles to drain.
+    /**
+     * Crash-resume journal path ("" = no journal). Each completed
+     * trial is appended as a CRC-guarded record; a restarted campaign
+     * replays the journal, re-runs only the missing trials, and
+     * produces a summary bit-identical to an uninterrupted run
+     * (docs/ROBUSTNESS.md).
+     */
+    std::string journalPath;
+    /**
+     * Watchdog retries for a trial that exhausts its drain budget
+     * without either quiescing or deadlocking. Each retry doubles the
+     * drain cap; a trial that exhausts every retry is *quarantined* —
+     * reported with `quarantined` set, never silently dropped.
+     */
+    std::uint32_t trialRetries = 1;
 };
 
 /** What happened in one seeded trial. */
@@ -149,6 +173,13 @@ struct TrialOutcome
     bool fullyAccounted = false;
     Cycle cyclesRun = 0;
     std::uint64_t flitEvents = 0;  //!< Engine work done this trial.
+    /**
+     * The trial exhausted its doubled drain budget on every watchdog
+     * retry without quiescing or deadlocking — a pathological run,
+     * reported as its own fate (fullyAccounted stays false).
+     */
+    bool quarantined = false;
+    std::uint32_t budgetRetries = 0;  //!< Watchdog re-runs consumed.
 };
 
 /** Aggregates across all trials of one campaign. */
@@ -169,6 +200,13 @@ struct CampaignSummary
     double meanRecoveryCycles = 0.0;
     Cycle maxRecoveryCycles = 0;
     std::uint64_t flitEvents = 0;  //!< Engine work across all trials.
+    std::uint32_t quarantinedTrials = 0;  //!< Watchdog gave up.
+    /**
+     * Trials replayed from the journal rather than run. Excluded
+     * (with wallSeconds) from byte-identity comparisons: a resumed
+     * campaign matches an uninterrupted one on every other field.
+     */
+    std::uint32_t resumedTrials = 0;
     double wallSeconds = 0.0;      //!< Wall-clock for the campaign.
 };
 
@@ -178,6 +216,13 @@ struct CampaignSummary
  * trial outcomes are appended to `out` in trial order when non-null —
  * identical to a sequential campaign — and the return value
  * aggregates them.
+ *
+ * With `cfg.journalPath` set the campaign is crash-resumable: every
+ * completed trial is journaled durably, a restart replays the journal
+ * and runs only the missing trials, and the final summary is
+ * bit-identical to an uninterrupted campaign (wallSeconds and
+ * resumedTrials aside). Trials that exhaust their watchdog budget are
+ * quarantined and reported, never silently dropped.
  */
 CampaignSummary runCampaign(const CampaignConfig& cfg,
                             std::vector<TrialOutcome>* out = nullptr);

@@ -43,6 +43,9 @@
 
 namespace crnet {
 
+class StateWriter;
+class StateReader;
+
 /** How much of a physical link a dead entry covers. */
 enum class DeadLinkKind : std::uint8_t {
     Directed,      //!< Only this direction is dead.
@@ -131,6 +134,15 @@ class FaultModel
      * each from its own endpoint's perspective).
      */
     std::vector<DeadLink> deadLinks() const;
+
+    // --- Checkpoint support (snapshot.hh) ---------------------------
+
+    /** Burst window, RNG stream, dead map and counters. */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
+    /** Replace the RNG stream (warm-start reseeding). */
+    void setRng(const Rng& rng) { rng_ = rng; }
 
   private:
     std::size_t index(NodeId node, PortId port) const;

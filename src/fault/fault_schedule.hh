@@ -43,6 +43,9 @@
 
 namespace crnet {
 
+class StateWriter;
+class StateReader;
+
 /** What a scheduled fault event does when it fires. */
 enum class FaultEventKind : std::uint8_t {
     LinkDeath,          //!< Both directions of (node, port) die.
@@ -111,6 +114,15 @@ class FaultSchedule
      * record this instead of aborting.
      */
     std::uint32_t placementShortfall() const { return shortfall_; }
+
+    /**
+     * Checkpoint support (snapshot.hh). The full event list is
+     * serialized — not just the cursor — because a schedule can be
+     * grown at runtime (Network::injectFaultEvent), so the restored
+     * side cannot rebuild it from config alone.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     std::vector<FaultEvent> events_;  //!< Sorted by `at`.

@@ -44,6 +44,8 @@ namespace crnet {
 
 class Auditor;
 class Tracer;
+class StateWriter;
+class StateReader;
 
 /** A flit the injector puts on an injection channel this cycle. */
 struct InjectedFlit
@@ -162,6 +164,20 @@ class Injector
 
     /** True while a slot sits in its post-kill cooldown window. */
     bool slotInCooldown(std::uint32_t ch, VcId vc) const;
+
+    // --- Checkpoint support (snapshot.hh) -----------------------------
+
+    /**
+     * Source queue, pending retries, per-slot worm state, busy-
+     * destination set (sorted) and the RNG stream. The `sent` outbox
+     * and channelUsed_ are cleared at tick entry and need not
+     * round-trip.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
+    /** Replace the RNG stream (warm-start reseeding). */
+    void setRng(const Rng& rng) { rng_ = rng; }
 
   private:
     struct Slot

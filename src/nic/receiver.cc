@@ -4,6 +4,7 @@
 
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
+#include "src/sim/snapshot.hh"
 #include "src/sim/trace.hh"
 
 namespace crnet {
@@ -495,6 +496,113 @@ Receiver::nextEventCycle(Cycle now) const
         next = std::min(next, at);
     }
     return next;
+}
+
+CRNET_ALLOW("unordered-iter",
+            "assembly map and seen-set are sorted before "
+            "serialization so the snapshot bytes never depend on "
+            "hash order")
+void
+Receiver::saveState(StateWriter& w) const
+{
+    for (const VcBuffer& vb : bufs_) {
+        w.u64(vb.buf.size());
+        for (std::size_t i = 0; i < vb.buf.size(); ++i)
+            saveFlit(w, vb.buf.peek(i));
+        w.b(vb.refusing);
+        w.u64(vb.refusedMsg);
+    }
+    for (VcId vc : rrVc_)
+        w.u16(vc);
+
+    std::vector<MsgId> ids;
+    ids.reserve(assemblies_.size());
+    for (const auto& entry : assemblies_)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (MsgId id : ids) {
+        const Assembly& a = assemblies_.at(id);
+        w.u64(id);
+        w.u32(a.src);
+        w.u16(a.attempt);
+        w.u32(a.nextSeq);
+        w.b(a.corrupted);
+        w.u32(a.payloadLen);
+        w.u32(a.pairSeq);
+        w.u64(a.createdAt);
+        w.u64(a.headInjectedAt);
+        w.b(a.measured);
+        w.u32(a.ejChannel);
+        w.u16(a.vc);
+        w.u64(a.lastFlitAt);
+        w.b(a.terminated);
+    }
+
+    w.u64(lastSeq_.size());
+    for (std::int64_t seq : lastSeq_)
+        w.i64(seq);
+    std::vector<std::uint64_t> seen(seenSeq_.begin(), seenSeq_.end());
+    std::sort(seen.begin(), seen.end());
+    w.u64(seen.size());
+    for (std::uint64_t key : seen)
+        w.u64(key);
+    w.u64(delivered_);
+    w.b(dynamicFaults_);
+}
+
+void
+Receiver::loadState(StateReader& r)
+{
+    for (VcBuffer& vb : bufs_) {
+        vb.buf.purge();
+        const std::uint64_t buffered = r.u64();
+        for (std::uint64_t i = 0; i < buffered; ++i) {
+            Flit f;
+            loadFlit(r, f);
+            vb.buf.push(f);
+        }
+        vb.refusing = r.b();
+        vb.refusedMsg = r.u64();
+    }
+    for (VcId& vc : rrVc_)
+        vc = r.u16();
+
+    assemblies_.clear();
+    const std::uint64_t numAssemblies = r.u64();
+    for (std::uint64_t i = 0; i < numAssemblies; ++i) {
+        const MsgId id = r.u64();
+        Assembly a;
+        a.src = r.u32();
+        a.attempt = r.u16();
+        a.nextSeq = r.u32();
+        a.corrupted = r.b();
+        a.payloadLen = r.u32();
+        a.pairSeq = r.u32();
+        a.createdAt = r.u64();
+        a.headInjectedAt = r.u64();
+        a.measured = r.b();
+        a.ejChannel = r.u32();
+        a.vc = r.u16();
+        a.lastFlitAt = r.u64();
+        a.terminated = r.b();
+        assemblies_.emplace(id, a);
+    }
+
+    const std::uint64_t numSeq = r.u64();
+    if (numSeq != lastSeq_.size())
+        panic("lastSeq table size mismatch on restore: saved ",
+              numSeq, ", have ", lastSeq_.size());
+    for (auto& seq : lastSeq_)
+        seq = r.i64();
+    seenSeq_.clear();
+    const std::uint64_t numSeen = r.u64();
+    for (std::uint64_t i = 0; i < numSeen; ++i)
+        seenSeq_.insert(r.u64());
+    delivered_ = r.u64();
+    dynamicFaults_ = r.b();
+    credits.clear();
+    bkills.clear();
 }
 
 } // namespace crnet

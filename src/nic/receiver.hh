@@ -55,6 +55,8 @@ namespace crnet {
 
 class Auditor;
 class Tracer;
+class StateWriter;
+class StateReader;
 
 /** A fully received message, as reported to the delivery sink. */
 struct DeliveredMessage
@@ -171,6 +173,17 @@ class Receiver
 
     /** Flits buffered across all ejection VCs. */
     std::uint64_t bufferedFlits() const;
+
+    // --- Checkpoint support (snapshot.hh) -----------------------------
+
+    /**
+     * Ejection buffers, refusal state, open assemblies and the
+     * exactly-once bookkeeping (both serialized in sorted order). The
+     * credit/bkill outboxes are cleared at tick entry and need not
+     * round-trip.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     struct VcBuffer

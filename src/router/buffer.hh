@@ -75,6 +75,18 @@ class FlitBuffer
         return f;
     }
 
+    /**
+     * The i-th oldest buffered flit (0 = front); panics out of range.
+     * Snapshot serialization walks the queue without disturbing it.
+     */
+    const Flit&
+    peek(std::size_t i) const
+    {
+        if (i >= count_)
+            panic("FlitBuffer::peek(", i, ") with ", count_, " buffered");
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
     /** Drop all contents (kill-token purge); returns dropped count. */
     std::size_t
     purge()

@@ -4,6 +4,7 @@
 
 #include "src/sim/audit.hh"
 #include "src/sim/log.hh"
+#include "src/sim/snapshot.hh"
 #include "src/sim/trace.hh"
 
 namespace crnet {
@@ -709,6 +710,122 @@ Router::outputProbe(PortId out_port, VcId vc) const
 {
     const OutputVc& o = ovc(out_port, vc);
     return OutputProbe{o.allocated, o.credits, o.quarantineUntil};
+}
+
+void
+Router::saveState(StateWriter& w) const
+{
+    for (const InputVc& in : inputs_) {
+        w.u64(in.buf.size());
+        for (std::size_t i = 0; i < in.buf.size(); ++i)
+            saveFlit(w, in.buf.peek(i));
+        w.u8(static_cast<std::uint8_t>(in.state));
+        w.u64(in.msg);
+        w.u16(in.attempt);
+        w.u16(in.outPort);
+        w.u16(in.outVc);
+        w.u64(in.stallCycles);
+        w.u64(in.headArrivedAt);
+        w.b(in.movedThisCycle);
+        w.b(in.blockTraced);
+        w.b(in.killPending);
+        saveFlit(w, in.killFlit);
+        w.u16(in.killOutPort);
+        w.u16(in.killOutVc);
+        w.u64(in.purgeMsg);
+    }
+    for (const OutputVc& out : outputs_) {
+        w.b(out.allocated);
+        w.u16(out.holderPort);
+        w.u16(out.holderVc);
+        w.u32(out.credits);
+        w.b(out.ejection);
+        w.u64(out.quarantineUntil);
+    }
+    w.u64(pendingBkillsAsOut_.size());
+    for (const SentBkill& bk : pendingBkillsAsOut_) {
+        w.u16(bk.inPort);
+        w.u16(bk.vc);
+    }
+    for (VcId vc : rrInVc_)
+        w.u16(vc);
+    for (PortId port : rrOutIn_)
+        w.u16(port);
+    w.b(heatTracking_);
+    if (heatTracking_) {
+        for (std::uint64_t v : heatForwarded_)
+            w.u64(v);
+        for (std::uint64_t v : heatBlocked_)
+            w.u64(v);
+        w.u64(heatOccupancy_);
+    }
+    saveRng(w, rng_);
+    w.u64(now_);
+}
+
+void
+Router::loadState(StateReader& r)
+{
+    for (InputVc& in : inputs_) {
+        in.buf.purge();
+        const std::uint64_t buffered = r.u64();
+        for (std::uint64_t i = 0; i < buffered; ++i) {
+            Flit f;
+            loadFlit(r, f);
+            in.buf.push(f);
+        }
+        in.state = static_cast<InputVc::State>(r.u8());
+        in.msg = r.u64();
+        in.attempt = r.u16();
+        in.outPort = r.u16();
+        in.outVc = r.u16();
+        in.stallCycles = r.u64();
+        in.headArrivedAt = r.u64();
+        in.movedThisCycle = r.b();
+        in.blockTraced = r.b();
+        in.killPending = r.b();
+        loadFlit(r, in.killFlit);
+        in.killOutPort = r.u16();
+        in.killOutVc = r.u16();
+        in.purgeMsg = r.u64();
+    }
+    for (OutputVc& out : outputs_) {
+        out.allocated = r.b();
+        out.holderPort = r.u16();
+        out.holderVc = r.u16();
+        out.credits = r.u32();
+        out.ejection = r.b();
+        out.quarantineUntil = r.u64();
+    }
+    pendingBkillsAsOut_.clear();
+    const std::uint64_t numBkills = r.u64();
+    for (std::uint64_t i = 0; i < numBkills; ++i) {
+        SentBkill bk;
+        bk.inPort = r.u16();
+        bk.vc = r.u16();
+        pendingBkillsAsOut_.push_back(bk);
+    }
+    for (VcId& vc : rrInVc_)
+        vc = r.u16();
+    for (PortId& port : rrOutIn_)
+        port = r.u16();
+    const bool heat = r.b();
+    if (heat != heatTracking_)
+        panic("heat-tracking mismatch on restore (saved ", heat,
+              ", have ", heatTracking_, ")");
+    if (heatTracking_) {
+        for (std::uint64_t& v : heatForwarded_)
+            v = r.u64();
+        for (std::uint64_t& v : heatBlocked_)
+            v = r.u64();
+        heatOccupancy_ = r.u64();
+    }
+    loadRng(r, rng_);
+    now_ = r.u64();
+    sentFlits.clear();
+    sentCredits.clear();
+    sentBkills.clear();
+    sentAborts.clear();
 }
 
 } // namespace crnet

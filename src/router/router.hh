@@ -50,6 +50,8 @@ namespace crnet {
 
 class Auditor;
 class Tracer;
+class StateWriter;
+class StateReader;
 
 /** Counters shared by all routers of one network. */
 struct RouterStats
@@ -246,6 +248,21 @@ class Router
         Cycle quarantineUntil = 0;
     };
     OutputProbe outputProbe(PortId out_port, VcId vc) const;
+
+    // --- Checkpoint support (snapshot.hh) ------------------------------
+
+    /**
+     * Serialize/restore every field that survives across ticks:
+     * input/output VC state machines, pending backward kills,
+     * round-robin pointers, heat counters and the RNG stream. The
+     * outboxes and per-cycle scratch (outPortBusy_, byOut_) are
+     * cleared at tick entry and need not round-trip.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
+    /** Replace the RNG stream (warm-start reseeding). */
+    void setRng(const Rng& rng) { rng_ = rng; }
 
   private:
     /** Per-input-VC state machine. */

@@ -72,6 +72,8 @@
 namespace crnet {
 
 class Topology;
+class StateWriter;
+class StateReader;
 
 /** What kind of channel an AuditEdge describes. */
 enum class AuditEdgeKind : std::uint8_t {
@@ -174,6 +176,16 @@ class Auditor
     std::uint64_t purged() const { return purged_; }
     std::uint64_t sweepsRun() const { return sweeps_; }
     std::uint64_t flitChecks() const { return flitChecks_; }
+
+    // --- Checkpoint support (snapshot.hh) -----------------------------
+
+    /**
+     * Channel mirrors, kill registry and conservation counters must
+     * survive a restore or the first post-resume sweep would panic on
+     * a phantom conservation violation.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     /** Mirror of one channel's worm state machine. */

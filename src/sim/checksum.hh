@@ -60,6 +60,42 @@ crc8(std::uint64_t payload)
     return crc8(bytes.data(), bytes.size());
 }
 
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc & 1u) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace detail
+
+/**
+ * CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over a byte stream.
+ * Guards snapshot payloads and campaign-journal records (see
+ * docs/ROBUSTNESS.md): a torn write or bit flip fails the check, so a
+ * resume can fall back to the last good record instead of silently
+ * loading garbage. Pass a previous result as `seed` to checksum a
+ * stream incrementally.
+ */
+constexpr std::uint32_t
+crc32(const std::uint8_t* data, std::size_t len,
+      std::uint32_t seed = 0)
+{
+    constexpr auto table = detail::makeCrc32Table();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
 } // namespace crnet
 
 #endif // CRNET_SIM_CHECKSUM_HH

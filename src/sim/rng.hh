@@ -10,6 +10,8 @@
 #ifndef CRNET_SIM_RNG_HH
 #define CRNET_SIM_RNG_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "src/sim/log.hh"
@@ -91,6 +93,38 @@ class Rng
     fork()
     {
         return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+    // --- Checkpoint/restore (see docs/ROBUSTNESS.md) -----------------
+    //
+    // The snapshot layer must capture every stream mid-sequence: a
+    // default-reconstructed or re-seeded generator after a resume is
+    // the classic silent-divergence bug, so the raw xoshiro words are
+    // exposed for exact round-tripping.
+
+    /** The four raw xoshiro256** state words. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Overwrite the state words (snapshot restore). */
+    void
+    setState(const std::array<std::uint64_t, 4>& s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
+    }
+
+    /** Two generators will produce identical streams forever. */
+    bool
+    operator==(const Rng& other) const
+    {
+        return state_[0] == other.state_[0] &&
+               state_[1] == other.state_[1] &&
+               state_[2] == other.state_[2] &&
+               state_[3] == other.state_[3];
     }
 
   private:

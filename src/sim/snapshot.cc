@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Snapshot container I/O, config fingerprinting and the shared
+ * field-group serializers (flits, messages, the stats block). The
+ * per-component saveState/loadState bodies live next to the
+ * components they serialize; this file owns everything format-level.
+ */
+
+#include "src/sim/snapshot.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "src/core/metrics.hh"
+#include "src/core/network.hh"
+#include "src/router/flit.hh"
+#include "src/sim/audit.hh"
+#include "src/sim/checksum.hh"
+#include "src/sim/config.hh"
+#include "src/traffic/message.hh"
+
+namespace crnet {
+
+// --- Shared field-group serializers ------------------------------------
+
+void
+saveFlit(StateWriter& w, const Flit& f)
+{
+    w.u8(static_cast<std::uint8_t>(f.type));
+    w.u64(f.msg);
+    w.u32(f.seq);
+    w.u32(f.src);
+    w.u32(f.dst);
+    w.u8(f.vcClass);
+    w.u8(f.misrouteBudget);
+    w.u16(f.attempt);
+    w.u32(f.payloadLen);
+    w.u32(f.pairSeq);
+    w.u64(f.createdAt);
+    w.u64(f.headInjectedAt);
+    w.b(f.measured);
+    w.u64(f.payload);
+    w.u8(f.crc);
+    w.b(f.corrupted);
+}
+
+void
+loadFlit(StateReader& r, Flit& f)
+{
+    f.type = static_cast<FlitType>(r.u8());
+    f.msg = r.u64();
+    f.seq = r.u32();
+    f.src = r.u32();
+    f.dst = r.u32();
+    f.vcClass = r.u8();
+    f.misrouteBudget = r.u8();
+    f.attempt = r.u16();
+    f.payloadLen = r.u32();
+    f.pairSeq = r.u32();
+    f.createdAt = r.u64();
+    f.headInjectedAt = r.u64();
+    f.measured = r.b();
+    f.payload = r.u64();
+    f.crc = r.u8();
+    f.corrupted = r.b();
+}
+
+void
+saveMessage(StateWriter& w, const PendingMessage& m)
+{
+    w.u64(m.id);
+    w.u32(m.src);
+    w.u32(m.dst);
+    w.u32(m.payloadLen);
+    w.u64(m.createdAt);
+    w.u32(m.pairSeq);
+    w.u16(m.attempt);
+    w.u64(m.notBefore);
+    w.b(m.measured);
+}
+
+void
+loadMessage(StateReader& r, PendingMessage& m)
+{
+    m.id = r.u64();
+    m.src = r.u32();
+    m.dst = r.u32();
+    m.payloadLen = r.u32();
+    m.createdAt = r.u64();
+    m.pairSeq = r.u32();
+    m.attempt = r.u16();
+    m.notBefore = r.u64();
+    m.measured = r.b();
+}
+
+void
+saveNetworkStats(StateWriter& w, const NetworkStats& s)
+{
+    s.router.flitsForwarded.saveState(w);
+    s.router.headersRouted.saveState(w);
+    s.router.escapeAllocations.saveState(w);
+    s.router.misrouteHops.saveState(w);
+    s.router.killsForwarded.saveState(w);
+    s.router.killsAnnihilated.saveState(w);
+    s.router.pathWideKills.saveState(w);
+    s.router.bkillHops.saveState(w);
+    s.router.flitsPurged.saveState(w);
+    s.router.stragglersDropped.saveState(w);
+    s.router.staleKills.saveState(w);
+    s.router.lateCreditsDropped.saveState(w);
+    s.router.linkDeathTeardowns.saveState(w);
+
+    s.messagesGenerated.saveState(w);
+    s.messagesMeasured.saveState(w);
+    s.sourceQueueDrops.saveState(w);
+    s.flitsInjected.saveState(w);
+    s.padFlitsInjected.saveState(w);
+    s.sourceKills.saveState(w);
+    s.abortedByBkill.saveState(w);
+    s.messagesCommitted.saveState(w);
+    s.messagesFailed.saveState(w);
+    s.measuredFailed.saveState(w);
+
+    s.messagesDelivered.saveState(w);
+    s.measuredDelivered.saveState(w);
+    s.corruptedDeliveries.saveState(w);
+    s.orderViolations.saveState(w);
+    s.duplicateDeliveries.saveState(w);
+    s.refusals.saveState(w);
+    s.staleAttemptFlits.saveState(w);
+    s.flitsConsumed.saveState(w);
+    s.padFlitsConsumed.saveState(w);
+    s.measuredPayloadFlits.saveState(w);
+
+    s.faultEventsApplied.saveState(w);
+    s.flitsLostOnDeadLinks.saveState(w);
+    s.killsAbsorbedAtDeadLinks.saveState(w);
+    s.controlAbsorbedAtDeadLinks.saveState(w);
+    s.receiverTimeouts.saveState(w);
+    s.assembliesFinalized.saveState(w);
+    s.assembliesDiscarded.saveState(w);
+    s.retryDuplicatesSuppressed.saveState(w);
+
+    s.totalLatency.saveState(w);
+    s.netLatency.saveState(w);
+    s.attempts.saveState(w);
+    s.padOverhead.saveState(w);
+    s.latencyHist.saveState(w);
+}
+
+void
+loadNetworkStats(StateReader& r, NetworkStats& s)
+{
+    s.router.flitsForwarded.loadState(r);
+    s.router.headersRouted.loadState(r);
+    s.router.escapeAllocations.loadState(r);
+    s.router.misrouteHops.loadState(r);
+    s.router.killsForwarded.loadState(r);
+    s.router.killsAnnihilated.loadState(r);
+    s.router.pathWideKills.loadState(r);
+    s.router.bkillHops.loadState(r);
+    s.router.flitsPurged.loadState(r);
+    s.router.stragglersDropped.loadState(r);
+    s.router.staleKills.loadState(r);
+    s.router.lateCreditsDropped.loadState(r);
+    s.router.linkDeathTeardowns.loadState(r);
+
+    s.messagesGenerated.loadState(r);
+    s.messagesMeasured.loadState(r);
+    s.sourceQueueDrops.loadState(r);
+    s.flitsInjected.loadState(r);
+    s.padFlitsInjected.loadState(r);
+    s.sourceKills.loadState(r);
+    s.abortedByBkill.loadState(r);
+    s.messagesCommitted.loadState(r);
+    s.messagesFailed.loadState(r);
+    s.measuredFailed.loadState(r);
+
+    s.messagesDelivered.loadState(r);
+    s.measuredDelivered.loadState(r);
+    s.corruptedDeliveries.loadState(r);
+    s.orderViolations.loadState(r);
+    s.duplicateDeliveries.loadState(r);
+    s.refusals.loadState(r);
+    s.staleAttemptFlits.loadState(r);
+    s.flitsConsumed.loadState(r);
+    s.padFlitsConsumed.loadState(r);
+    s.measuredPayloadFlits.loadState(r);
+
+    s.faultEventsApplied.loadState(r);
+    s.flitsLostOnDeadLinks.loadState(r);
+    s.killsAbsorbedAtDeadLinks.loadState(r);
+    s.controlAbsorbedAtDeadLinks.loadState(r);
+    s.receiverTimeouts.loadState(r);
+    s.assembliesFinalized.loadState(r);
+    s.assembliesDiscarded.loadState(r);
+    s.retryDuplicatesSuppressed.loadState(r);
+
+    s.totalLatency.loadState(r);
+    s.netLatency.loadState(r);
+    s.attempts.loadState(r);
+    s.padOverhead.loadState(r);
+    s.latencyHist.loadState(r);
+}
+
+// --- Config fingerprint ------------------------------------------------
+
+std::uint64_t
+configFingerprint(const SimConfig& cfg)
+{
+    // Every semantic field, in declaration order. traceFile and jobs
+    // are deliberately excluded (see the header); sched and watchSpec
+    // are deliberately *included* — the scheduler is bit-identical by
+    // contract but a mismatch would invalidate the byte-identity
+    // guarantee on the serialized wake flags, and the watch list
+    // shapes the tracer state the snapshot carries.
+    StateWriter w;
+    w.u8(static_cast<std::uint8_t>(cfg.topology));
+    w.u32(cfg.radixK);
+    w.u32(cfg.dimensionsN);
+    w.u32(cfg.numVcs);
+    w.u32(cfg.bufferDepth);
+    w.u32(cfg.injectionChannels);
+    w.u32(cfg.ejectionChannels);
+    w.u32(cfg.channelLatency);
+    w.u8(static_cast<std::uint8_t>(cfg.routing));
+    w.u8(static_cast<std::uint8_t>(cfg.protocol));
+    w.u8(static_cast<std::uint8_t>(cfg.timeoutScheme));
+    w.u64(cfg.timeout);
+    w.u8(static_cast<std::uint8_t>(cfg.backoff));
+    w.u64(cfg.backoffGap);
+    w.u64(cfg.backoffCap);
+    w.u32(cfg.misrouteAfterRetries);
+    w.u32(cfg.misrouteBudget);
+    w.u32(cfg.maxRetries);
+    w.b(cfg.enforceDestOrder);
+    w.u32(cfg.padSlack);
+    w.u8(static_cast<std::uint8_t>(cfg.pattern));
+    w.f64(cfg.injectionRate);
+    w.u32(cfg.messageLength);
+    w.u32(cfg.messageLengthB);
+    w.f64(cfg.bimodalFracB);
+    w.f64(cfg.hotspotFraction);
+    w.u32(cfg.maxPendingPerNode);
+    w.f64(cfg.transientFaultRate);
+    w.u32(cfg.permanentLinkFaults);
+    w.u32(cfg.dynamicLinkKills);
+    w.u32(cfg.dynamicDirectedKills);
+    w.u32(cfg.dynamicRouterKills);
+    w.u64(cfg.faultWindowStart);
+    w.u64(cfg.faultWindowEnd);
+    w.u64(cfg.linkRepairAfter);
+    w.u64(cfg.burstStart);
+    w.u64(cfg.burstLen);
+    w.f64(cfg.burstRate);
+    w.str(cfg.faultScenario);
+    w.str(cfg.watchSpec);
+    w.u64(cfg.sampleInterval);
+    w.b(cfg.heatmapEnabled);
+    w.u8(static_cast<std::uint8_t>(cfg.sched));
+    w.u64(cfg.seed);
+    w.u64(cfg.warmupCycles);
+    w.u64(cfg.measureCycles);
+    w.u64(cfg.drainCycles);
+    w.u64(cfg.deadlockThreshold);
+    w.u64(cfg.auditInterval);
+    w.u8(CRNET_AUDIT_ENABLED ? 1 : 0);
+
+    const std::vector<std::uint8_t>& bytes = w.bytes();
+    const std::uint32_t lo = crc32(bytes.data(), bytes.size());
+    const std::uint32_t hi = crc32(bytes.data(), bytes.size(), lo);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+// --- Capture / restore -------------------------------------------------
+
+Snapshot
+captureSnapshot(const Network& net)
+{
+    StateWriter w;
+    net.saveState(w);
+    Snapshot snap;
+    snap.at = net.now();
+    snap.fingerprint = configFingerprint(net.config());
+    snap.payload = w.bytes();
+    return snap;
+}
+
+std::string
+restoreSnapshot(Network& net, const Snapshot& snap)
+{
+    const std::uint64_t want = configFingerprint(net.config());
+    if (snap.fingerprint != want)
+        return "config fingerprint mismatch: snapshot was taken from "
+               "a differently-configured network (snapshot " +
+               std::to_string(snap.fingerprint) + ", target " +
+               std::to_string(want) + ")";
+    StateReader r(snap.payload);
+    net.loadState(r);
+    if (!r.done())
+        panic("snapshot payload has ", r.remaining(),
+              " trailing bytes after restore (version skew or "
+              "serialization bug)");
+    return "";
+}
+
+// --- File container ----------------------------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'C', 'R', 'N', 'E',
+                                    'T', 'S', 'N', 'P'};
+
+std::string
+errnoMessage(const std::string& what, const std::string& path)
+{
+    return what + " " + path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+std::string
+atomicWriteFile(const std::string& path,
+                const std::vector<std::uint8_t>& bytes)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return errnoMessage("cannot create", tmp);
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        return errnoMessage("short write to", tmp);
+    }
+    if (std::fflush(f) != 0) {
+        std::fclose(f);
+        return errnoMessage("cannot flush", tmp);
+    }
+    if (fsync(fileno(f)) != 0) {
+        std::fclose(f);
+        return errnoMessage("cannot fsync", tmp);
+    }
+    if (std::fclose(f) != 0)
+        return errnoMessage("cannot close", tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return errnoMessage("cannot rename into place:", path);
+    return "";
+}
+
+std::string
+readFileBytes(const std::string& path, std::vector<std::uint8_t>& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return errnoMessage("cannot open", path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[65536];
+    for (;;) {
+        const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+        bytes.insert(bytes.end(), buf, buf + n);
+        if (n < sizeof(buf)) {
+            if (std::ferror(f) != 0) {
+                std::fclose(f);
+                return errnoMessage("read error on", path);
+            }
+            break;
+        }
+    }
+    std::fclose(f);
+    out = std::move(bytes);
+    return "";
+}
+
+std::string
+writeSnapshotFile(const std::string& path, const Snapshot& snap)
+{
+    StateWriter w;
+    for (char c : kSnapshotMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kSnapshotVersion);
+    w.u64(snap.fingerprint);
+    w.u64(snap.at);
+    w.u64(snap.payload.size());
+    for (std::uint8_t byte : snap.payload)
+        w.u8(byte);
+    const std::vector<std::uint8_t>& body = w.bytes();
+    StateWriter trailer;
+    trailer.u32(crc32(body.data(), body.size()));
+    std::vector<std::uint8_t> file = body;
+    file.insert(file.end(), trailer.bytes().begin(),
+                trailer.bytes().end());
+    return atomicWriteFile(path, file);
+}
+
+std::string
+readSnapshotFile(const std::string& path, Snapshot& out)
+{
+    std::vector<std::uint8_t> file;
+    std::string err = readFileBytes(path, file);
+    if (!err.empty())
+        return err;
+    // Fixed header (magic + version + fingerprint + at + payload len)
+    // plus the CRC-32 trailer.
+    constexpr std::size_t kHeader = 8 + 4 + 8 + 8 + 8;
+    if (file.size() < kHeader + 4)
+        return "snapshot file " + path + " is truncated (" +
+               std::to_string(file.size()) + " bytes)";
+    const std::size_t bodyLen = file.size() - 4;
+    StateReader tr(file.data() + bodyLen, 4);
+    const std::uint32_t wantCrc = tr.u32();
+    const std::uint32_t haveCrc = crc32(file.data(), bodyLen);
+    if (wantCrc != haveCrc)
+        return "snapshot file " + path + " failed its CRC-32 check "
+               "(stored " + std::to_string(wantCrc) + ", computed " +
+               std::to_string(haveCrc) + ")";
+    StateReader r(file.data(), bodyLen);
+    for (char c : kSnapshotMagic)
+        if (r.u8() != static_cast<std::uint8_t>(c))
+            return "snapshot file " + path + " has a bad magic number";
+    const std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion)
+        return "snapshot file " + path + " has format version " +
+               std::to_string(version) + "; this build reads version " +
+               std::to_string(kSnapshotVersion);
+    Snapshot snap;
+    snap.fingerprint = r.u64();
+    snap.at = r.u64();
+    const std::uint64_t payloadLen = r.u64();
+    if (payloadLen != r.remaining())
+        return "snapshot file " + path + " payload length mismatch "
+               "(header says " + std::to_string(payloadLen) +
+               ", file carries " + std::to_string(r.remaining()) + ")";
+    snap.payload.assign(file.begin() +
+                            static_cast<std::ptrdiff_t>(kHeader),
+                        file.begin() +
+                            static_cast<std::ptrdiff_t>(bodyLen));
+    out = std::move(snap);
+    return "";
+}
+
+} // namespace crnet

@@ -16,6 +16,9 @@
 
 namespace crnet {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Streaming scalar accumulator (Welford's algorithm).
  *
@@ -45,6 +48,10 @@ class Accumulator
     double min() const { return count_ ? min_ : 0.0; }
     /** Largest sample; 0 when empty. */
     double max() const { return count_ ? max_ : 0.0; }
+
+    /** Checkpoint support (snapshot.hh). */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     std::uint64_t count_ = 0;
@@ -85,6 +92,10 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /** Checkpoint support; bin geometry must match the saved one. */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
   private:
     double binWidth_;
     std::vector<std::uint64_t> bins_;
@@ -99,6 +110,10 @@ class Counter
     void inc(std::uint64_t by = 1) { value_ += by; }
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
+
+    /** Checkpoint support (snapshot.hh). */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     std::uint64_t value_ = 0;

@@ -43,6 +43,8 @@
 namespace crnet {
 
 struct SimConfig;
+class StateWriter;
+class StateReader;
 
 /** Worm-lifecycle event taxonomy (see docs/OBSERVABILITY.md). */
 enum class TraceEventKind : std::uint8_t {
@@ -141,6 +143,14 @@ class Tracer
      */
     CRNET_RESULT_AFFECTING
     void flush();
+
+    /**
+     * Checkpoint support (snapshot.hh): event buffer, adopted watch
+     * ids and current cycle. Config-derived fields (prefix, parsed
+     * watch list) are reconstructed by the constructor.
+     */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
 
   private:
     bool pairMatches(NodeId src, NodeId dst) const;

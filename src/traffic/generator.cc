@@ -1,6 +1,7 @@
 #include "src/traffic/generator.hh"
 
 #include "src/sim/log.hh"
+#include "src/sim/snapshot.hh"
 
 namespace crnet {
 
@@ -79,6 +80,29 @@ TrafficGenerator::makeMessage(NodeId src, NodeId dst,
     m.pairSeq = nextPairSeq(src, dst);
     m.measured = measured;
     return m;
+}
+
+void
+TrafficGenerator::saveState(StateWriter& w) const
+{
+    saveRng(w, rng_);
+    w.u64(nextMsgId_);
+    w.u64(pairSeq_.size());
+    for (std::uint32_t seq : pairSeq_)
+        w.u32(seq);
+}
+
+void
+TrafficGenerator::loadState(StateReader& r)
+{
+    loadRng(r, rng_);
+    nextMsgId_ = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n != pairSeq_.size())
+        panic("pairSeq table size mismatch on restore: saved ", n,
+              ", have ", pairSeq_.size());
+    for (auto& seq : pairSeq_)
+        seq = r.u32();
 }
 
 } // namespace crnet

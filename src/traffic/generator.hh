@@ -23,6 +23,9 @@
 
 namespace crnet {
 
+class StateWriter;
+class StateReader;
+
 /** Per-network message source. */
 class TrafficGenerator
 {
@@ -67,6 +70,15 @@ class TrafficGenerator
     double offeredLoad() const { return offered_; }
 
     std::uint64_t generatedCount() const { return nextMsgId_; }
+
+    // --- Checkpoint support (snapshot.hh) ---------------------------
+
+    /** RNG stream, id counter and pairSeq table. */
+    void saveState(StateWriter& w) const;
+    void loadState(StateReader& r);
+
+    /** Replace the RNG stream (warm-start reseeding). */
+    void setRng(const Rng& rng) { rng_ = rng; }
 
   private:
     std::uint32_t drawLength();

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Crash-resume integration test for the campaign journal.
+
+Drives tests/campaign_resume_helper (built by tests/CMakeLists.txt):
+
+  1. Runs an uninterrupted jobs=1 campaign as the byte-identity
+     reference.
+  2. Starts a journaled campaign, SIGKILLs it at a randomized point
+     mid-flight (watching the journal grow to guarantee the kill lands
+     after some — but not all — trials are durable), restarts it, and
+     asserts the resumed run's output is byte-identical to the
+     reference.
+  3. Repeats the kill/restart cycle several times against one journal,
+     and once with jobs=4: completion order must not matter.
+
+Usage: test_campaign_resume.py <helper_binary>
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+TRIALS = 12
+SEED_BASE = 5
+
+
+def run_helper(helper, journal, jobs=1):
+    """Run the helper to completion; return its summary/trial lines.
+
+    info:/warn: log lines (e.g. "resuming with N trials replayed")
+    are dropped before comparison — resume progress legitimately
+    differs between an interrupted and an uninterrupted campaign; the
+    *results* must not.
+    """
+    cmd = [helper, f"trials={TRIALS}", f"seed_base={SEED_BASE}",
+           f"jobs={jobs}"]
+    if journal:
+        cmd.append(f"journal={journal}")
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=600)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"helper failed ({proc.returncode}):\n{proc.stdout}"
+            f"\n{proc.stderr}")
+    kept = [l for l in proc.stdout.splitlines()
+            if l.startswith(("summary ", "trial "))]
+    return "\n".join(kept) + "\n"
+
+
+def kill_mid_campaign(helper, journal, rng, jobs=1):
+    """Start the helper and SIGKILL it at a randomized point once the
+    journal shows at least one completed trial. Returns True if the
+    kill landed mid-campaign (False: it finished first)."""
+    cmd = [helper, f"trials={TRIALS}", f"seed_base={SEED_BASE}",
+           f"jobs={jobs}", f"journal={journal}"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    # A fresh journal (magic + header) is ~32 bytes; every completed
+    # trial appends a bigger record. Wait until some trials are
+    # durable, then add a random extra delay so the kill point varies
+    # across iterations (including mid-append windows).
+    baseline = 64
+    deadline = time.monotonic() + 60
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                return False  # Finished before we could kill it.
+            try:
+                if os.path.getsize(journal) > baseline:
+                    break
+            except OSError:
+                pass  # Not created yet (or mid-rename).
+            time.sleep(0.002)
+        time.sleep(rng.uniform(0.0, 0.05))
+        if proc.poll() is not None:
+            return False
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        return True
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    helper = sys.argv[1]
+    if not Path(helper).exists():
+        print(f"helper binary not found: {helper}")
+        return 2
+
+    rng = random.Random(20260809)
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="crnet_resume_") as tmp:
+        reference = run_helper(helper, journal=None, jobs=1)
+        if "summary trials=12" not in reference:
+            failures.append("reference run produced no summary:\n" +
+                            reference)
+
+        # Serial kill/restart: randomized kill points, one journal.
+        journal = os.path.join(tmp, "serial.jnl")
+        kills = 0
+        for _ in range(4):
+            if kill_mid_campaign(helper, journal, rng, jobs=1):
+                kills += 1
+        resumed = run_helper(helper, journal, jobs=1)
+        if resumed != reference:
+            failures.append(
+                f"resumed output (after {kills} kills) differs from "
+                f"the uninterrupted reference:\n--- reference\n"
+                f"{reference}\n--- resumed\n{resumed}")
+        if kills == 0:
+            # Machine too fast to catch mid-flight: the test still
+            # verified journal replay, but say so.
+            print("note: campaign finished before any kill landed; "
+                  "replay-only coverage this run")
+
+        # Parallel workers: kill under jobs=4, resume under jobs=4.
+        # The summary must still match the jobs=1 reference exactly.
+        journal4 = os.path.join(tmp, "parallel.jnl")
+        kill_mid_campaign(helper, journal4, rng, jobs=4)
+        resumed4 = run_helper(helper, journal4, jobs=4)
+        if resumed4 != reference:
+            failures.append(
+                "jobs=4 resumed output differs from the jobs=1 "
+                f"reference:\n--- reference\n{reference}\n"
+                f"--- resumed jobs=4\n{resumed4}")
+
+        # A journal for a different campaign must not be resumable:
+        # the helper must die (fatal), not silently blend campaigns.
+        cmd = [helper, f"trials={TRIALS}",
+               f"seed_base={SEED_BASE + 1}", "jobs=1",
+               f"journal={journal}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=600)
+        if proc.returncode == 0:
+            failures.append(
+                "helper accepted a journal from a different campaign "
+                "(seed_base mismatch) instead of refusing")
+
+    if failures:
+        print(f"FAIL: {len(failures)} problem(s)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("OK: crash-resume reproduces the uninterrupted campaign "
+          "byte-for-byte (jobs=1 and jobs=4)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

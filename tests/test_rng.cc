@@ -101,5 +101,56 @@ TEST(Rng, ForkIsIndependent)
     EXPECT_LT(equal, 4);
 }
 
+TEST(Rng, StateRoundTripResumesExactly)
+{
+    Rng a(77);
+    for (int i = 0; i < 1000; ++i)
+        a.next();
+    const auto saved = a.state();
+    Rng b(1);  // Different seed: setState must fully overwrite.
+    b.setState(saved);
+    EXPECT_EQ(a, b);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StateCapturesMidstreamPosition)
+{
+    Rng a(123);
+    Rng b(123);
+    a.next();
+    EXPECT_NE(a.state(), b.state());
+    b.next();
+    EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Rng, EqualityTracksStream)
+{
+    Rng a(5), b(5);
+    EXPECT_EQ(a, b);
+    a.next();
+    EXPECT_FALSE(a == b);
+    b.next();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SetStateAffectsDerivedDraws)
+{
+    // Every draw type (next, below, uniform, chance, fork) must
+    // resume identically, not just the raw 64-bit stream.
+    Rng a(31);
+    for (int i = 0; i < 17; ++i)
+        a.next();
+    Rng b(2);
+    b.setState(a.state());
+    EXPECT_EQ(a.below(1000), b.below(1000));
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.chance(0.3), b.chance(0.3));
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    EXPECT_EQ(fa, fb);
+    EXPECT_EQ(fa.next(), fb.next());
+}
+
 } // namespace
 } // namespace crnet

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Checkpoint/restore tests: the byte-identity guarantee (save →
+ * restore → continue matches an uninterrupted run bit for bit, under
+ * both schedulers), the on-disk container's corruption handling, the
+ * campaign journal's crash-resume semantics, and the watchdog's
+ * quarantine fate (docs/ROBUSTNESS.md).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hh"
+#include "src/core/network.hh"
+#include "src/fault/campaign.hh"
+#include "src/sim/checksum.hh"
+#include "src/sim/config.hh"
+#include "src/sim/snapshot.hh"
+
+namespace crnet {
+namespace {
+
+/**
+ * A deliberately busy little network: dynamic faults, transient
+ * corruption, FCR recovery, time series, heatmap and tracing all on,
+ * so the snapshot has to carry every subsystem.
+ */
+SimConfig
+snapConfig(SchedulerKind sched)
+{
+    SimConfig cfg;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Fcr;
+    cfg.injectionRate = 0.2;
+    cfg.messageLength = 8;
+    cfg.timeout = 16;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 400;
+    cfg.dynamicLinkKills = 1;
+    cfg.misrouteAfterRetries = 1;
+    cfg.transientFaultRate = 0.0005;
+    cfg.sampleInterval = 100;
+    cfg.heatmapEnabled = true;
+    cfg.sched = sched;
+    cfg.seed = 99;
+    return cfg;
+}
+
+/**
+ * Drive `pre` cycles (measuring from cycle 100), optionally hop the
+ * state through a snapshot into a fresh network, then drive the same
+ * `post` schedule; return the final full-state payload.
+ */
+std::vector<std::uint8_t>
+endState(const SimConfig& cfg, bool via_restore)
+{
+    Network a(cfg);
+    a.setMeasuring(false);
+    a.run(100);
+    a.setMeasuring(true);
+    a.run(200);  // Snapshot lands mid-measurement, faults in flight.
+
+    Network* cont = &a;
+    Network b(cfg);
+    if (via_restore) {
+        const Snapshot mid = captureSnapshot(a);
+        EXPECT_EQ(restoreSnapshot(b, mid), "");
+        EXPECT_EQ(b.now(), a.now());
+        cont = &b;
+    }
+    cont->run(200);
+    cont->setMeasuring(false);
+    cont->setTrafficEnabled(false);
+    cont->run(300);
+    return captureSnapshot(*cont).payload;
+}
+
+TEST(SnapshotIdentity, RestoredRunMatchesUninterruptedActive)
+{
+    const SimConfig cfg = snapConfig(SchedulerKind::Active);
+    const auto straight = endState(cfg, false);
+    const auto hopped = endState(cfg, true);
+    ASSERT_EQ(straight.size(), hopped.size());
+    EXPECT_TRUE(straight == hopped);
+}
+
+TEST(SnapshotIdentity, RestoredRunMatchesUninterruptedSweep)
+{
+    const SimConfig cfg = snapConfig(SchedulerKind::Sweep);
+    const auto straight = endState(cfg, false);
+    const auto hopped = endState(cfg, true);
+    ASSERT_EQ(straight.size(), hopped.size());
+    EXPECT_TRUE(straight == hopped);
+}
+
+TEST(SnapshotIdentity, TracedRunSurvivesRestore)
+{
+    // With a tracer attached the event list itself is part of the
+    // state: the restored network's trace must contain the pre-hop
+    // events, not start empty.
+    SimConfig cfg = snapConfig(SchedulerKind::Active);
+    cfg.traceFile = testing::TempDir() + "crnet_snap_trace_a";
+    const auto straight = endState(cfg, false);
+    cfg.traceFile = testing::TempDir() + "crnet_snap_trace_b";
+    const auto hopped = endState(cfg, true);
+    EXPECT_TRUE(straight == hopped);
+}
+
+TEST(SnapshotIdentity, WarmForksAreDeterministicAndDiverge)
+{
+    const SimConfig cfg = snapConfig(SchedulerKind::Active);
+    Network warm(cfg);
+    warm.setMeasuring(false);
+    warm.run(150);
+    const Snapshot snap = captureSnapshot(warm);
+
+    auto fork = [&](std::uint64_t seed) {
+        Network net(cfg);
+        EXPECT_EQ(restoreSnapshot(net, snap), "");
+        net.reseedStreams(seed);
+        net.setMeasuring(true);
+        net.run(400);
+        return captureSnapshot(net).payload;
+    };
+    const auto f1 = fork(1234);
+    const auto f2 = fork(1234);
+    const auto f3 = fork(4321);
+    EXPECT_TRUE(f1 == f2);  // Same reseed: bit-identical.
+    EXPECT_FALSE(f1 == f3);  // Different reseed: a different world.
+}
+
+TEST(Snapshot, RefusesMismatchedConfig)
+{
+    const SimConfig cfg = snapConfig(SchedulerKind::Active);
+    Network a(cfg);
+    a.run(50);
+    const Snapshot snap = captureSnapshot(a);
+
+    SimConfig other = cfg;
+    other.injectionRate = 0.25;
+    Network b(other);
+    const std::string err = restoreSnapshot(b, snap);
+    EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+    EXPECT_EQ(b.now(), 0u);  // Refusal leaves the target untouched.
+}
+
+// --- On-disk container --------------------------------------------------
+
+class SnapshotFile : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg_ = snapConfig(SchedulerKind::Active);
+        Network net(cfg_);
+        net.run(120);
+        snap_ = captureSnapshot(net);
+        path_ = testing::TempDir() + "crnet_snapshot_test.bin";
+        ASSERT_EQ(writeSnapshotFile(path_, snap_), "");
+        ASSERT_EQ(readFileBytes(path_, file_), "");
+    }
+
+    /** Rewrite the file with `bytes`, fixing up the CRC trailer. */
+    void
+    rewriteWithValidCrc(std::vector<std::uint8_t> bytes)
+    {
+        const std::size_t body = bytes.size() - 4;
+        const std::uint32_t crc = crc32(bytes.data(), body);
+        for (int i = 0; i < 4; ++i)
+            bytes[body + i] =
+                static_cast<std::uint8_t>(crc >> (8 * i));
+        ASSERT_EQ(atomicWriteFile(path_, bytes), "");
+    }
+
+    SimConfig cfg_;
+    Snapshot snap_;
+    std::string path_;
+    std::vector<std::uint8_t> file_;
+};
+
+TEST_F(SnapshotFile, RoundTripsExactly)
+{
+    Snapshot back;
+    ASSERT_EQ(readSnapshotFile(path_, back), "");
+    EXPECT_EQ(back.at, snap_.at);
+    EXPECT_EQ(back.fingerprint, snap_.fingerprint);
+    EXPECT_TRUE(back.payload == snap_.payload);
+
+    // And the bytes are live: restore + run works.
+    Network net(cfg_);
+    ASSERT_EQ(restoreSnapshot(net, back), "");
+    net.run(50);
+    EXPECT_EQ(net.now(), 170u);
+}
+
+TEST_F(SnapshotFile, DetectsFlippedPayloadByte)
+{
+    std::vector<std::uint8_t> bad = file_;
+    bad[bad.size() / 2] ^= 0x40;
+    ASSERT_EQ(atomicWriteFile(path_, bad), "");
+    Snapshot out;
+    const std::string err = readSnapshotFile(path_, out);
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+}
+
+TEST_F(SnapshotFile, DetectsTruncation)
+{
+    std::vector<std::uint8_t> bad(file_.begin(),
+                                  file_.begin() + 20);
+    ASSERT_EQ(atomicWriteFile(path_, bad), "");
+    Snapshot out;
+    const std::string err = readSnapshotFile(path_, out);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+    // A torn tail (CRC cut off mid-write) must also be caught.
+    std::vector<std::uint8_t> torn(file_.begin(), file_.end() - 2);
+    ASSERT_EQ(atomicWriteFile(path_, torn), "");
+    EXPECT_NE(readSnapshotFile(path_, out), "");
+}
+
+TEST_F(SnapshotFile, DetectsBadMagic)
+{
+    std::vector<std::uint8_t> bad = file_;
+    bad[0] = 'X';
+    rewriteWithValidCrc(bad);
+    Snapshot out;
+    const std::string err = readSnapshotFile(path_, out);
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST_F(SnapshotFile, DetectsVersionSkew)
+{
+    std::vector<std::uint8_t> bad = file_;
+    bad[8] = 0xEE;  // Version field follows the 8-byte magic.
+    rewriteWithValidCrc(bad);
+    Snapshot out;
+    const std::string err = readSnapshotFile(path_, out);
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST_F(SnapshotFile, MissingFileIsAnError)
+{
+    Snapshot out;
+    EXPECT_NE(readSnapshotFile(path_ + ".nope", out), "");
+}
+
+// --- Campaign journal ---------------------------------------------------
+
+CampaignConfig
+campConfig(const std::string& journal)
+{
+    CampaignConfig cc;
+    cc.base = snapConfig(SchedulerKind::Active);
+    cc.base.warmupCycles = 100;
+    cc.base.measureCycles = 300;
+    cc.base.jobs = 1;
+    cc.trials = 4;
+    cc.seedBase = 7;
+    cc.journalPath = journal;
+    return cc;
+}
+
+void
+expectTrialsEqual(const std::vector<TrialOutcome>& a,
+                  const std::vector<TrialOutcome>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].trial, b[i].trial);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_EQ(a[i].accepted, b[i].accepted);
+        EXPECT_EQ(a[i].delivered, b[i].delivered);
+        EXPECT_EQ(a[i].refused, b[i].refused);
+        EXPECT_EQ(a[i].pendingAtEnd, b[i].pendingAtEnd);
+        EXPECT_EQ(a[i].duplicates, b[i].duplicates);
+        EXPECT_EQ(a[i].faultEvents, b[i].faultEvents);
+        EXPECT_EQ(a[i].flitsLost, b[i].flitsLost);
+        EXPECT_EQ(a[i].receiverTimeouts, b[i].receiverTimeouts);
+        EXPECT_EQ(a[i].firstFaultAt, b[i].firstFaultAt);
+        EXPECT_EQ(a[i].preFaultLatency, b[i].preFaultLatency);
+        EXPECT_EQ(a[i].postFaultLatency, b[i].postFaultLatency);
+        EXPECT_EQ(a[i].recoveryCycles, b[i].recoveryCycles);
+        EXPECT_EQ(a[i].deadlocked, b[i].deadlocked);
+        EXPECT_EQ(a[i].fullyAccounted, b[i].fullyAccounted);
+        EXPECT_EQ(a[i].cyclesRun, b[i].cyclesRun);
+        EXPECT_EQ(a[i].flitEvents, b[i].flitEvents);
+        EXPECT_EQ(a[i].quarantined, b[i].quarantined);
+        EXPECT_EQ(a[i].budgetRetries, b[i].budgetRetries);
+    }
+}
+
+/** Everything except wallSeconds and resumedTrials must match. */
+void
+expectSummariesEqual(const CampaignSummary& a, const CampaignSummary& b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.accountedTrials, b.accountedTrials);
+    EXPECT_EQ(a.deadlockedTrials, b.deadlockedTrials);
+    EXPECT_EQ(a.quarantinedTrials, b.quarantinedTrials);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.refused, b.refused);
+    EXPECT_EQ(a.pending, b.pending);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+    EXPECT_EQ(a.faultEvents, b.faultEvents);
+    EXPECT_EQ(a.deliveryRate, b.deliveryRate);
+    EXPECT_EQ(a.meanPreFaultLatency, b.meanPreFaultLatency);
+    EXPECT_EQ(a.meanPostFaultLatency, b.meanPostFaultLatency);
+    EXPECT_EQ(a.meanRecoveryCycles, b.meanRecoveryCycles);
+    EXPECT_EQ(a.maxRecoveryCycles, b.maxRecoveryCycles);
+    EXPECT_EQ(a.flitEvents, b.flitEvents);
+}
+
+TEST(CampaignJournal, ResumeFromTornJournalReproducesSummary)
+{
+    const std::string path =
+        testing::TempDir() + "crnet_journal_test.jnl";
+    std::remove(path.c_str());
+
+    // Uninterrupted reference, no journal.
+    std::vector<TrialOutcome> refTrials;
+    const CampaignSummary ref =
+        runCampaign(campConfig(""), &refTrials);
+
+    // Full journaled run, cold start.
+    std::vector<TrialOutcome> coldTrials;
+    const CampaignSummary cold =
+        runCampaign(campConfig(path), &coldTrials);
+    EXPECT_EQ(cold.resumedTrials, 0u);
+    expectSummariesEqual(ref, cold);
+    expectTrialsEqual(refTrials, coldTrials);
+
+    // Simulate a crash mid-append: chop the journal mid-record. The
+    // replay must keep the intact prefix and re-run the rest.
+    std::vector<std::uint8_t> bytes;
+    ASSERT_EQ(readFileBytes(path, bytes), "");
+    std::vector<std::uint8_t> torn(
+        bytes.begin(),
+        bytes.begin() +
+            static_cast<std::ptrdiff_t>(bytes.size() * 2 / 3));
+    ASSERT_EQ(atomicWriteFile(path, torn), "");
+
+    std::vector<TrialOutcome> resTrials;
+    const CampaignSummary res =
+        runCampaign(campConfig(path), &resTrials);
+    EXPECT_GT(res.resumedTrials, 0u);
+    EXPECT_LT(res.resumedTrials, res.trials);
+    expectSummariesEqual(ref, res);
+    expectTrialsEqual(refTrials, resTrials);
+
+    // A clean re-run replays everything and runs nothing.
+    std::vector<TrialOutcome> againTrials;
+    const CampaignSummary again =
+        runCampaign(campConfig(path), &againTrials);
+    EXPECT_EQ(again.resumedTrials, again.trials);
+    expectSummariesEqual(ref, again);
+    expectTrialsEqual(refTrials, againTrials);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, CorruptedRecordFallsBackToGoodPrefix)
+{
+    const std::string path =
+        testing::TempDir() + "crnet_journal_corrupt.jnl";
+    std::remove(path.c_str());
+
+    std::vector<TrialOutcome> refTrials;
+    const CampaignSummary ref =
+        runCampaign(campConfig(""), &refTrials);
+    runCampaign(campConfig(path), nullptr);
+
+    // Flip a byte inside the *last* record's payload: the CRC guard
+    // must drop it (and only it) on replay.
+    std::vector<std::uint8_t> bytes;
+    ASSERT_EQ(readFileBytes(path, bytes), "");
+    bytes[bytes.size() - 10] ^= 0x01;
+    ASSERT_EQ(atomicWriteFile(path, bytes), "");
+
+    std::vector<TrialOutcome> resTrials;
+    const CampaignSummary res =
+        runCampaign(campConfig(path), &resTrials);
+    EXPECT_EQ(res.resumedTrials, res.trials - 1);
+    expectSummariesEqual(ref, res);
+    expectTrialsEqual(refTrials, resTrials);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, GarbageFileStartsFresh)
+{
+    const std::string path =
+        testing::TempDir() + "crnet_journal_garbage.jnl";
+    const std::vector<std::uint8_t> junk = {'n', 'o', 't', ' ',
+                                            'a', ' ', 'j', 'n',
+                                            'l', '!'};
+    ASSERT_EQ(atomicWriteFile(path, junk), "");
+
+    std::vector<TrialOutcome> refTrials;
+    const CampaignSummary ref =
+        runCampaign(campConfig(""), &refTrials);
+    std::vector<TrialOutcome> trials;
+    const CampaignSummary s = runCampaign(campConfig(path), &trials);
+    EXPECT_EQ(s.resumedTrials, 0u);
+    expectSummariesEqual(ref, s);
+    expectTrialsEqual(refTrials, trials);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignWatchdog, QuarantinesBudgetExhaustedTrials)
+{
+    // A zero drain budget cannot quiesce a loaded network: every
+    // trial exhausts its (never-growing) budget and must surface as
+    // the explicit quarantine fate — counted, reported, not dropped.
+    CampaignConfig cc = campConfig("");
+    cc.trials = 2;
+    cc.drainCap = 0;
+    cc.trialRetries = 0;
+    std::vector<TrialOutcome> trials;
+    const CampaignSummary s = runCampaign(cc, &trials);
+    ASSERT_EQ(trials.size(), 2u);
+    EXPECT_EQ(s.quarantinedTrials, 2u);
+    EXPECT_EQ(s.accountedTrials, 0u);
+    for (const TrialOutcome& t : trials) {
+        EXPECT_TRUE(t.quarantined);
+        EXPECT_FALSE(t.fullyAccounted);
+        EXPECT_EQ(t.budgetRetries, 0u);
+    }
+}
+
+TEST(CampaignWatchdog, RetryLadderClearsTransientBudgetShortfalls)
+{
+    // With a tiny-but-growable budget the doubled retries eventually
+    // drain; the outcome records how many re-runs it took and the
+    // fates match an ample-budget reference.
+    CampaignConfig tight = campConfig("");
+    tight.trials = 2;
+    tight.drainCap = 64;
+    tight.trialRetries = 16;
+    std::vector<TrialOutcome> trials;
+    const CampaignSummary s = runCampaign(tight, &trials);
+    EXPECT_EQ(s.quarantinedTrials, 0u);
+    for (const TrialOutcome& t : trials)
+        EXPECT_FALSE(t.quarantined);
+}
+
+} // namespace
+} // namespace crnet

@@ -41,6 +41,34 @@ def csv_blocks(body, marker="csv:"):
             i += 1
 
 
+def kv_lines(body, marker):
+    """Yield dicts parsed from single-line `marker key=v key=v` rows.
+
+    Used for the `warmstart:` footer bench_tab_saturation prints after
+    its cold-vs-warm replication comparison (docs/ROBUSTNESS.md): one
+    line of key=value pairs rather than a multi-row CSV block.
+    """
+    for line in body.splitlines():
+        line = line.strip()
+        if not line.startswith(marker):
+            continue
+        row = {}
+        for tok in line[len(marker):].split():
+            if "=" in tok:
+                k, _, v = tok.partition("=")
+                row[k] = v
+        if row:
+            yield row
+
+
+def kv_csv(rows):
+    """Render a list of same-keyed dicts as one CSV block."""
+    keys = list(rows[0].keys())
+    out = [",".join(keys)]
+    out += [",".join(r.get(k, "") for k in keys) for r in rows]
+    return "\n".join(out) + "\n"
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -76,6 +104,15 @@ def main():
             path = os.path.join(outdir, f"{safe}__heatmap{n:02d}.csv")
             with open(path, "w", encoding="utf-8") as out:
                 out.write(block)
+            written += 1
+        # Warm-start comparison footers (`warmstart: cold_s=... ...`)
+        # collapse into a single CSV per bench so speedups can be
+        # tracked across runs (docs/ROBUSTNESS.md).
+        warm = list(kv_lines(body, "warmstart:"))
+        if warm:
+            path = os.path.join(outdir, f"{safe}__warmstart.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(kv_csv(warm))
             written += 1
     print(f"wrote {written} CSV files to {outdir}/")
 
