@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/network.hh"
+#include "src/nic/injector.hh"
 #include "src/sim/checksum.hh"
 #include "src/sim/rng.hh"
 
@@ -77,6 +78,34 @@ BM_NetworkTickLoaded(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * cfg.numNodes());
 }
 BENCHMARK(BM_NetworkTickLoaded)->Arg(8)->Arg(16);
+
+void
+BM_InjectorNextEventCycle(benchmark::State& state)
+{
+    // A deep backoff queue: the incremental notBefore minimum keeps
+    // the reschedule probe O(1) however deep the queue gets (it used
+    // to rescan every pending message).
+    SimConfig cfg;
+    const auto depth = static_cast<std::uint32_t>(state.range(0));
+    cfg.maxPendingPerNode = depth;
+    TorusTopology topo(8, 2);
+    FaultModel faults(topo, 0.0, Rng(1));
+    MinimalAdaptiveRouting algo(topo, faults, cfg.numVcs);
+    NetworkStats stats;
+    Injector inj(0, cfg, topo, algo, &stats, Rng(2));
+    for (std::uint32_t i = 0; i < depth; ++i) {
+        PendingMessage m;
+        m.id = i + 1;
+        m.src = 0;
+        m.dst = static_cast<NodeId>(1 + i % 63);
+        m.payloadLen = 8;
+        m.notBefore = 1000 + i;
+        inj.enqueue(m);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inj.nextEventCycle(0));
+}
+BENCHMARK(BM_InjectorNextEventCycle)->Arg(1)->Arg(64)->Arg(4096);
 
 void
 BM_RouterTickBusy(benchmark::State& state)

@@ -20,6 +20,11 @@ namespace {
  * idle() so it can leave the active set. See sweepActive().
  */
 constexpr Cycle kIdleProbePeriod = 8;
+static_assert((kIdleProbePeriod & (kIdleProbePeriod - 1)) == 0 &&
+                  kIdleProbePeriod != 0,
+              "kIdleProbePeriod must be a power of two: the probe "
+              "boundary test masks with (kIdleProbePeriod - 1) "
+              "instead of taking a modulus");
 
 } // namespace
 
@@ -44,7 +49,8 @@ Network::Wave::empty() const
 Network::Network(const SimConfig& cfg) : cfg_(cfg)
 {
     cfg_.validate();
-    activeSched_ = cfg_.sched == SchedulerKind::Active;
+    activeSched_ = cfg_.sched != SchedulerKind::Sweep;
+    eventSched_ = cfg_.sched == SchedulerKind::Event;
     // Events mature at most channelLatency cycles out (+1 for "next
     // cycle" staging, +1 because the current bucket is in use); round
     // the bucket count up to a power of two so waveIn()/deliver()
@@ -162,19 +168,28 @@ Network::waveIn(Cycle delay)
 void
 Network::wakeInjector(NodeId id)
 {
-    injAwake_[id] = 1;
+    if (injAwake_[id] == 0) {
+        injAwake_[id] = 1;
+        ++injAwakeN_;
+    }
 }
 
 void
 Network::wakeRouter(NodeId id)
 {
-    rtrAwake_[id] = 1;
+    if (rtrAwake_[id] == 0) {
+        rtrAwake_[id] = 1;
+        ++rtrAwakeN_;
+    }
 }
 
 void
 Network::wakeReceiver(NodeId id)
 {
-    rcvAwake_[id] = 1;
+    if (rcvAwake_[id] == 0) {
+        rcvAwake_[id] = 1;
+        ++rcvAwakeN_;
+    }
 }
 
 void
@@ -407,9 +422,13 @@ Network::generate()
     if (!trafficEnabled_)
         return;
     const NodeId n = topo_->numNodes();
-    for (NodeId src = 0; src < n; ++src) {
-        if (!generator_->drawArrival())
-            continue;
+    // Batched arrival scan: scanArrivals consumes exactly the same
+    // per-node Bernoulli draws the old per-node drawArrival loop did,
+    // so the RNG interleaving with makeFor below is unchanged — but
+    // the (overwhelmingly common) no-arrival nodes stay inside one
+    // tight loop over the generator stream.
+    for (NodeId src = generator_->scanArrivals(0); src < n;
+         src = generator_->scanArrivals(src + 1)) {
         if (injectors_[src]->queueFull()) {
             // Offered but not accepted; the pair sequence number is
             // not allocated, so receivers never see a phantom gap.
@@ -556,6 +575,7 @@ Network::sweepActive()
         if (injAwake_[id] == 0)
             continue;
         injAwake_[id] = 0;
+        --injAwakeN_;
         injectors_[id]->tick(now_);
         collectInjector(id);
         scheduleInjector(id, injectors_[id]->nextEventCycle(now_));
@@ -563,7 +583,6 @@ Network::sweepActive()
     for (NodeId id = 0; id < n; ++id) {
         if (rtrAwake_[id] == 0)
             continue;
-        rtrAwake_[id] = 0;
         routers_[id]->tick(now_);
         collectRouter(id);
         // Routers have no future-only deadlines: any held flit,
@@ -573,16 +592,20 @@ Network::sweepActive()
         // skipped ticks save; instead busy routers are only probed
         // for sleep on coarse boundaries (over-waking is harmless —
         // a router lingers awake for at most kIdleProbePeriod - 1
-        // no-op ticks after its last flit leaves).
-        if ((now_ & (kIdleProbePeriod - 1)) != 0 ||
-            !routers_[id]->idle()) {
-            rtrAwake_[id] = 1;
+        // no-op ticks after its last flit leaves, and the event
+        // scheduler's tryEnterQuiet() probes lingerers immediately
+        // once the rest of the network sleeps).
+        if ((now_ & (kIdleProbePeriod - 1)) == 0 &&
+            routers_[id]->idle()) {
+            rtrAwake_[id] = 0;
+            --rtrAwakeN_;
         }
     }
     for (NodeId id = 0; id < n; ++id) {
         if (rcvAwake_[id] == 0)
             continue;
         rcvAwake_[id] = 0;
+        --rcvAwakeN_;
         receivers_[id]->tick(now_);
         collectReceiver(id);
         scheduleReceiver(id, receivers_[id]->nextEventCycle(now_));
@@ -636,10 +659,9 @@ Network::reportDeadlockForensics()
 }
 
 void
-Network::takeSample()
+Network::sampleGauges(std::uint64_t& in_flight,
+                      std::uint64_t& buffered) const
 {
-    std::uint64_t in_flight = 0;
-    std::uint64_t buffered = 0;
     const NodeId n = topo_->numNodes();
     if (activeSched_) {
         // Post-sweep, the wake flags mark every component re-armed
@@ -662,6 +684,14 @@ Network::takeSample()
             buffered += receivers_[id]->bufferedFlits();
         }
     }
+}
+
+void
+Network::takeSample()
+{
+    std::uint64_t in_flight = 0;
+    std::uint64_t buffered = 0;
+    sampleGauges(in_flight, buffered);
     timeseries_->sample(now_ + 1, stats_, in_flight, buffered);
 }
 
@@ -670,7 +700,21 @@ Network::timeseriesSamples() const
 {
     if (timeseries_ == nullptr)
         return {};
-    return timeseries_->samples();
+    std::vector<TimeSeriesSample> out = timeseries_->samples();
+    // A run that stops mid-interval still reports its tail cycles:
+    // flush a final partial sample covering everything since the last
+    // boundary. peekTail leaves the differencing baselines untouched,
+    // so a run that later continues (e.g. after a snapshot restore)
+    // samples exactly as if no one had peeked.
+    const Cycle last = out.empty() ? 0 : out.back().at;
+    if (now_ > last) {
+        std::uint64_t in_flight = 0;
+        std::uint64_t buffered = 0;
+        sampleGauges(in_flight, buffered);
+        out.push_back(
+            timeseries_->peekTail(now_, stats_, in_flight, buffered));
+    }
+    return out;
 }
 
 std::shared_ptr<const HeatmapData>
@@ -870,8 +914,137 @@ Network::runAuditSweep()
 void
 Network::run(Cycle n)
 {
-    for (Cycle i = 0; i < n; ++i)
+    if (!eventSched_) {
+        for (Cycle i = 0; i < n; ++i)
+            tick();
+        return;
+    }
+    const Cycle end = now_ + n;
+    while (now_ < end) {
+        if (tryEnterQuiet())
+            runQuietSpan(end);
+        else
+            tick();
+    }
+}
+
+bool
+Network::tryEnterQuiet()
+{
+    // Cheapest checks first: the counters and heap tops are O(1) and
+    // reject almost every busy cycle before the O(n) router probe.
+    if (injAwakeN_ != 0 || rcvAwakeN_ != 0)
+        return false;
+    // A deadline or fault event due this very cycle belongs to
+    // tick(), not to a span.
+    if (!injDeadlines_.empty() && injDeadlines_.top().first <= now_)
+        return false;
+    if (!rcvDeadlines_.empty() && rcvDeadlines_.top().first <= now_)
+        return false;
+    if (dynamicFaults_ && schedule_ != nullptr &&
+        schedule_->nextEventCycle() <= now_)
+        return false;
+    // In-flight events still maturing in the wave rings demand their
+    // delivery cycles.
+    for (const Wave& w : buckets_)
+        if (!w.empty())
+            return false;
+    if (rtrAwakeN_ != 0) {
+        // Only routers linger. sweepActive() probes them with idle()
+        // on coarse boundaries to bound its per-cycle cost; here the
+        // rest of the network is already asleep, so probe right away
+        // — clearing an idle router elides the same no-op ticks, just
+        // without waiting out the probe period.
+        const NodeId n = topo_->numNodes();
+        for (NodeId id = 0; id < n && rtrAwakeN_ != 0; ++id) {
+            if (rtrAwake_[id] != 0 && routers_[id]->idle()) {
+                rtrAwake_[id] = 0;
+                --rtrAwakeN_;
+            }
+        }
+        if (rtrAwakeN_ != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+Network::runQuietSpan(Cycle end)
+{
+    // Earliest cycle at which anything can happen again: a sleeping
+    // component's deadline, a scheduled fault event, or the deadlock
+    // watchdog's crossing cycle. State is frozen across the span, so
+    // everything below fires at exactly the cycle the per-cycle
+    // schedulers would reach it.
+    Cycle limit = end;
+    if (!injDeadlines_.empty())
+        limit = std::min(limit, injDeadlines_.top().first);
+    if (!rcvDeadlines_.empty())
+        limit = std::min(limit, rcvDeadlines_.top().first);
+    if (dynamicFaults_ && schedule_ != nullptr)
+        limit = std::min(limit, schedule_->nextEventCycle());
+    if (dynamicFaults_ && !forensicsDumped_ && !quiescent()) {
+        // The watchdog trips on the first cycle with
+        // now_ - lastActivity_ > deadlockThreshold; the one-shot
+        // forensics dump must run under that same now_.
+        limit = std::min(limit,
+                         lastActivity_ + cfg_.deadlockThreshold + 1);
+    }
+    if (limit <= now_) {
         tick();
+        return;
+    }
+
+    // Arrival-free prefix of [now_, limit): the generator consumes
+    // exactly the per-cycle draw stream for the quiet cycles and
+    // rewinds to the start of the first cycle with an arrival, so the
+    // tick() below redraws that cycle bit-identically.
+    const Cycle quiet = trafficEnabled_
+        ? generator_->quietCycles(limit - now_)
+        : limit - now_;
+    quietCyclesSkipped_ += quiet;
+
+    // Walk the skipped cycles boundary to boundary: audit sweeps and
+    // time-series samples observe frozen state but must still land on
+    // their exact cycles so the audits, samples and any snapshot
+    // taken later stay byte-identical to per-cycle execution.
+    const Cycle span_end = now_ + quiet;
+    while (now_ < span_end) {
+        Cycle boundary = span_end;
+#if CRNET_AUDIT_ENABLED
+        if (audit_ != nullptr) {
+            const Cycle next_audit =
+                now_ +
+                (cfg_.auditInterval - now_ % cfg_.auditInterval) %
+                    cfg_.auditInterval;
+            boundary = std::min(boundary, next_audit);
+        }
+#endif
+        if (timeseries_ != nullptr) {
+            const Cycle ts = timeseries_->interval();
+            boundary = std::min(boundary, now_ + (ts - 1 - now_ % ts));
+        }
+        if (boundary >= span_end) {
+            now_ = span_end;
+            break;
+        }
+        now_ = boundary;
+        CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
+        if (trace_ != nullptr)
+            trace_->beginCycle(now_);
+#if CRNET_AUDIT_ENABLED
+        if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
+            runAuditSweep();
+#endif
+        if (timeseries_ != nullptr &&
+            (now_ + 1) % timeseries_->interval() == 0) {
+            takeSample();
+        }
+        ++now_;
+    }
+
+    if (now_ < limit)
+        tick();  // First cycle with an arrival.
 }
 
 MsgId
@@ -1325,6 +1498,14 @@ Network::loadState(StateReader& r)
         injNextAt_[id] = r.u64();
     for (NodeId id = 0; id < n; ++id)
         rcvNextAt_[id] = r.u64();
+    // The per-kind awake counts are derived state; recount rather
+    // than serialize so every scheduler reads every snapshot.
+    injAwakeN_ = rtrAwakeN_ = rcvAwakeN_ = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        injAwakeN_ += injAwake_[id] != 0;
+        rtrAwakeN_ += rtrAwake_[id] != 0;
+        rcvAwakeN_ += rcvAwake_[id] != 0;
+    }
 
     now_ = r.u64();
     trafficEnabled_ = r.b();

@@ -65,10 +65,23 @@ class Network : public DeliverySink, public MessageFailureSink
     CRNET_HOT_PATH CRNET_RESULT_AFFECTING
     void tick();
 
-    /** Advance `n` cycles. */
+    /**
+     * Advance `n` cycles. Under SchedulerKind::Event, globally quiet
+     * spans inside the window are skipped over (batched arrival draws
+     * plus boundary-exact audit/sample work) instead of ticked; the
+     * results are bit-identical to per-cycle execution.
+     */
     void run(Cycle n);
 
     Cycle now() const { return now_; }
+
+    /**
+     * Cycles the event scheduler skipped (never ticked component-by-
+     * component) so far. Always 0 under sweep/active. Diagnostic
+     * only: deliberately excluded from snapshots, so restored runs
+     * count their own skips.
+     */
+    Cycle quietCyclesSkipped() const { return quietCyclesSkipped_; }
 
     // --- Workload control -------------------------------------------
 
@@ -314,6 +327,31 @@ class Network : public DeliverySink, public MessageFailureSink
     /** Wake every component whose deadline is due at now_. */
     void popDueDeadlines();
 
+    // --- Event scheduling (SchedulerKind::Event) -------------------
+    //
+    // The event scheduler is the active scheduler plus a skip-ahead:
+    // when no component is awake and nothing is in flight, the clock
+    // advances straight through the arrival-free prefix of the window
+    // bounded by the earliest pending deadline — injector cooldown/
+    // backoff expiry and receiver starvation boundaries (the deadline
+    // heaps), scheduled fault events, the deadlock watchdog's
+    // crossing cycle, and the run window itself. Audit sweeps and
+    // time-series samples still land on their exact cycles, and the
+    // traffic generator consumes exactly the per-cycle draw stream,
+    // so results stay bit-identical to the per-cycle schedulers.
+
+    /**
+     * True when the coming cycle cannot change any state: no awake
+     * component, empty wave rings, no due deadline or fault event.
+     * Lingering awake-but-idle routers are probed (and put to sleep)
+     * on the way — the immediate form of sweepActive()'s periodic
+     * idle probe.
+     */
+    bool tryEnterQuiet();
+
+    /** Skip ahead from a quiet cycle, staying inside [now_, end). */
+    void runQuietSpan(Cycle end);
+
     void applyFaultEvents();
     void applyOneFaultEvent(const FaultEvent& ev);
     /** Kill one directed channel's stranded worm state on both ends. */
@@ -335,6 +373,14 @@ class Network : public DeliverySink, public MessageFailureSink
 
     /** Append one time-series sample covering the last interval. */
     void takeSample();
+
+    /**
+     * Instantaneous gauges for a time-series sample: in-flight worms
+     * and buffered flits, flag-gated under the active-set schedulers
+     * (a sleeping component's gauges are provably zero).
+     */
+    void sampleGauges(std::uint64_t& in_flight,
+                      std::uint64_t& buffered) const;
 
     /** Wave that events maturing `delay` cycles from now go into. */
     Wave& waveIn(Cycle delay);
@@ -374,9 +420,18 @@ class Network : public DeliverySink, public MessageFailureSink
                             std::vector<std::pair<Cycle, NodeId>>,
                             std::greater<>>;
     bool activeSched_ = true;
+    bool eventSched_ = false;
     std::vector<std::uint8_t> injAwake_, rtrAwake_, rcvAwake_;
     DeadlineHeap injDeadlines_, rcvDeadlines_;
     std::vector<Cycle> injNextAt_, rcvNextAt_;
+    /**
+     * Number of set flags per kind, so the event scheduler's quiet
+     * check is O(1) on busy cycles. Under sweep the flags are set but
+     * never cleared, so the counts saturate harmlessly. Derived from
+     * the flag arrays (recounted on restore, never serialized).
+     */
+    std::uint32_t injAwakeN_ = 0, rtrAwakeN_ = 0, rcvAwakeN_ = 0;
+    Cycle quietCyclesSkipped_ = 0;
 
     Cycle now_ = 0;
     bool trafficEnabled_ = true;

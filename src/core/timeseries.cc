@@ -15,27 +15,23 @@ TimeSeries::TimeSeries(Cycle interval) : interval_(interval)
         panic("TimeSeries interval must be >= 1");
 }
 
-void
-TimeSeries::sample(Cycle now, const NetworkStats& stats,
-                   std::uint64_t in_flight_worms,
-                   std::uint64_t buffered_flits)
+TimeSeriesSample
+TimeSeries::build(Cycle now, const NetworkStats& stats,
+                  std::uint64_t in_flight_worms,
+                  std::uint64_t buffered_flits) const
 {
-    const std::uint64_t delivered = stats.messagesDelivered.value();
-    const std::uint64_t payload = stats.measuredPayloadFlits.value();
-    const std::uint64_t kills = stats.sourceKills.value() +
-                                stats.router.pathWideKills.value();
-    const std::uint64_t retrans = stats.abortedByBkill.value();
-    const std::uint64_t faults = stats.faultEventsApplied.value();
     const double lat_sum = stats.totalLatency.sum();
     const std::uint64_t lat_count = stats.totalLatency.count();
 
     TimeSeriesSample s;
     s.at = now;
-    s.delivered = delivered - lastDelivered_;
-    s.payloadFlits = payload - lastPayload_;
-    s.kills = kills - lastKills_;
-    s.retransmits = retrans - lastRetrans_;
-    s.faultEvents = faults - lastFaults_;
+    s.delivered = stats.messagesDelivered.value() - lastDelivered_;
+    s.payloadFlits =
+        stats.measuredPayloadFlits.value() - lastPayload_;
+    s.kills = stats.sourceKills.value() +
+              stats.router.pathWideKills.value() - lastKills_;
+    s.retransmits = stats.abortedByBkill.value() - lastRetrans_;
+    s.faultEvents = stats.faultEventsApplied.value() - lastFaults_;
     if (lat_count > lastLatencyCount_) {
         s.meanLatency = (lat_sum - lastLatencySum_) /
                         static_cast<double>(lat_count -
@@ -43,15 +39,33 @@ TimeSeries::sample(Cycle now, const NetworkStats& stats,
     }
     s.inFlightWorms = in_flight_worms;
     s.bufferedFlits = buffered_flits;
-    samples_.push_back(s);
+    return s;
+}
 
-    lastDelivered_ = delivered;
-    lastPayload_ = payload;
-    lastKills_ = kills;
-    lastRetrans_ = retrans;
-    lastFaults_ = faults;
-    lastLatencySum_ = lat_sum;
-    lastLatencyCount_ = lat_count;
+void
+TimeSeries::sample(Cycle now, const NetworkStats& stats,
+                   std::uint64_t in_flight_worms,
+                   std::uint64_t buffered_flits)
+{
+    samples_.push_back(
+        build(now, stats, in_flight_worms, buffered_flits));
+
+    lastDelivered_ = stats.messagesDelivered.value();
+    lastPayload_ = stats.measuredPayloadFlits.value();
+    lastKills_ = stats.sourceKills.value() +
+                 stats.router.pathWideKills.value();
+    lastRetrans_ = stats.abortedByBkill.value();
+    lastFaults_ = stats.faultEventsApplied.value();
+    lastLatencySum_ = stats.totalLatency.sum();
+    lastLatencyCount_ = stats.totalLatency.count();
+}
+
+TimeSeriesSample
+TimeSeries::peekTail(Cycle now, const NetworkStats& stats,
+                     std::uint64_t in_flight_worms,
+                     std::uint64_t buffered_flits) const
+{
+    return build(now, stats, in_flight_worms, buffered_flits);
 }
 
 void

@@ -66,6 +66,16 @@ class TimeSeries
                 std::uint64_t in_flight_worms,
                 std::uint64_t buffered_flits);
 
+    /**
+     * The partial-interval sample a run ending at cycle `now` would
+     * flush: deltas since the last boundary sample, without touching
+     * the differencing baselines (the run may still be continued, e.g.
+     * after a snapshot restore).
+     */
+    TimeSeriesSample peekTail(Cycle now, const NetworkStats& stats,
+                              std::uint64_t in_flight_worms,
+                              std::uint64_t buffered_flits) const;
+
     const std::vector<TimeSeriesSample>& samples() const
     {
         return samples_;
@@ -76,6 +86,11 @@ class TimeSeries
     void loadState(StateReader& r);
 
   private:
+    /** Deltas against the baselines, shared by sample()/peekTail(). */
+    TimeSeriesSample build(Cycle now, const NetworkStats& stats,
+                           std::uint64_t in_flight_worms,
+                           std::uint64_t buffered_flits) const;
+
     Cycle interval_;
     std::vector<TimeSeriesSample> samples_;
 

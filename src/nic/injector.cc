@@ -65,7 +65,16 @@ Injector::enqueue(const PendingMessage& msg)
         return false;
     }
     queue_.push_back(msg);
+    queueMinNotBefore_ = std::min(queueMinNotBefore_, msg.notBefore);
     return true;
+}
+
+void
+Injector::recomputeQueueMin()
+{
+    queueMinNotBefore_ = kNeverCycle;
+    for (const PendingMessage& m : queue_)
+        queueMinNotBefore_ = std::min(queueMinNotBefore_, m.notBefore);
 }
 
 void
@@ -106,6 +115,8 @@ Injector::acceptAbort(std::uint32_t inj_channel, VcId vc, MsgId msg)
                 return;
             busyDests_.erase(s.msg.dst);
             queue_.push_front(s.msg);
+            queueMinNotBefore_ =
+                std::min(queueMinNotBefore_, s.msg.notBefore);
         }
         s.state = Slot::State::Cooldown;
         s.cooldownUntil = 0;
@@ -152,6 +163,7 @@ Injector::requeueForRetry(PendingMessage msg, Cycle now)
                        msg.notBefore - now);
     }
     queue_.push_front(msg);
+    queueMinNotBefore_ = std::min(queueMinNotBefore_, msg.notBefore);
     // The worm is out of the network, so release the destination
     // reservation. No younger message to the same destination can
     // overtake the retry anyway: the retry sits at the front of the
@@ -286,6 +298,8 @@ Injector::startWorms(Cycle now)
 
             PendingMessage msg = *it;
             queue_.erase(it);
+            if (msg.notBefore == queueMinNotBefore_)
+                recomputeQueueMin();
             busyDests_.insert(msg.dst);
 
             s.state = Slot::State::Active;
@@ -492,12 +506,13 @@ Injector::nextEventCycle(Cycle now) const
     // With no active worm, busyDests_ is empty, so a queued message
     // is held back only by its backoff expiry (destination-order
     // interleavings can delay an individual start, but a tick before
-    // then is a no-op, which keeps this bound safe). Nothing beats
-    // now + 1, so the scan stops at the first ready message.
-    for (const PendingMessage& m : queue_) {
-        if (m.notBefore <= now + 1)
+    // then is a no-op, which keeps this bound safe). The incremental
+    // minimum makes this O(1) even for a deep backoff queue; it is
+    // exact, so the returned deadline matches a full rescan.
+    if (!queue_.empty()) {
+        if (queueMinNotBefore_ <= now + 1)
             return now + 1;
-        next = std::min(next, m.notBefore);
+        next = std::min(next, queueMinNotBefore_);
     }
     return next;
 }
@@ -557,6 +572,7 @@ Injector::loadState(StateReader& r)
         loadMessage(r, m);
         queue_.push_back(m);
     }
+    recomputeQueueMin();
     pendingRetries_.clear();
     const std::uint64_t retries = r.u64();
     for (std::uint64_t i = 0; i < retries; ++i) {

@@ -214,6 +214,8 @@ class Injector
     void requeueForRetry(PendingMessage msg, Cycle now);
     Flit buildFlit(const Slot& s, std::uint32_t seq, Cycle now) const;
     bool timeoutExpired(const Slot& s, Cycle now) const;
+    /** Rescan queue_ for the exact min notBefore (erase-of-min). */
+    void recomputeQueueMin();
 
     NodeId node_;
     const SimConfig& cfg_;
@@ -226,6 +228,14 @@ class Injector
     Rng rng_;
 
     std::deque<PendingMessage> queue_;
+    /**
+     * Exact minimum notBefore over queue_ (kNeverCycle when empty),
+     * maintained incrementally so nextEventCycle() never rescans a
+     * deep backoff queue. Pushes min-update in O(1); erasing the
+     * minimum (a worm start) triggers the one O(queue) rescan.
+     * Derived state: recomputed, not serialized, on restore.
+     */
+    Cycle queueMinNotBefore_ = kNeverCycle;
     /** Aborts accepted during delivery, requeued at the next tick. */
     std::vector<PendingMessage> pendingRetries_;
     std::vector<Slot> slots_;  //!< [channel][vc] flattened.

@@ -309,6 +309,7 @@ toString(SchedulerKind k)
     switch (k) {
       case SchedulerKind::Sweep: return "sweep";
       case SchedulerKind::Active: return "active";
+      case SchedulerKind::Event: return "event";
     }
     panic("bad SchedulerKind");
 }
@@ -365,6 +366,7 @@ schedulerFromString(const std::string& s)
 {
     if (s == "sweep") return SchedulerKind::Sweep;
     if (s == "active") return SchedulerKind::Active;
+    if (s == "event") return SchedulerKind::Event;
     fatal("unknown scheduler '", s, "'");
 }
 

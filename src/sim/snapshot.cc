@@ -211,12 +211,15 @@ loadNetworkStats(StateReader& r, NetworkStats& s)
 std::uint64_t
 configFingerprint(const SimConfig& cfg)
 {
-    // Every semantic field, in declaration order. traceFile and jobs
-    // are deliberately excluded (see the header); sched and watchSpec
-    // are deliberately *included* — the scheduler is bit-identical by
-    // contract but a mismatch would invalidate the byte-identity
-    // guarantee on the serialized wake flags, and the watch list
-    // shapes the tracer state the snapshot carries.
+    // Every semantic field, in declaration order. traceFile, jobs and
+    // sched are deliberately excluded: the schedulers are proven
+    // bit-identical, the serialized wake flags are a sound superset
+    // under every scheduler (sweep sets flags and never clears them;
+    // a component that was never woken holds no state), and the
+    // per-kind awake counts are recounted on load — so a snapshot
+    // captured under sched=sweep restores under sched=event and vice
+    // versa. watchSpec *is* included because the watch list shapes
+    // the tracer state the snapshot carries.
     StateWriter w;
     w.u8(static_cast<std::uint8_t>(cfg.topology));
     w.u32(cfg.radixK);
@@ -260,7 +263,6 @@ configFingerprint(const SimConfig& cfg)
     w.str(cfg.watchSpec);
     w.u64(cfg.sampleInterval);
     w.b(cfg.heatmapEnabled);
-    w.u8(static_cast<std::uint8_t>(cfg.sched));
     w.u64(cfg.seed);
     w.u64(cfg.warmupCycles);
     w.u64(cfg.measureCycles);

@@ -93,6 +93,49 @@ TEST_F(InjectorTest, EmitsWormInOrderWithPadsAndTail)
     EXPECT_TRUE(inj->idle());
 }
 
+TEST_F(InjectorTest, NextEventCycleTracksQueueMinExactly)
+{
+    // Empty and idle: no deadline at all.
+    EXPECT_EQ(inj->nextEventCycle(0), kNeverCycle);
+
+    // The incremental queue minimum must be exact (identical to a
+    // full rescan) through out-of-order pushes...
+    PendingMessage m1 = msgTo(5, 4);
+    m1.notBefore = 100;
+    PendingMessage m2 = msgTo(6, 4);
+    m2.notBefore = 20;
+    PendingMessage m3 = msgTo(9, 4);
+    m3.notBefore = 160;
+    inj->enqueue(m1);
+    EXPECT_EQ(inj->nextEventCycle(0), 100u);
+    inj->enqueue(m2);
+    EXPECT_EQ(inj->nextEventCycle(0), 20u);
+    inj->enqueue(m3);
+    EXPECT_EQ(inj->nextEventCycle(0), 20u);
+
+    // A due message pins the wake to the very next cycle.
+    EXPECT_EQ(inj->nextEventCycle(25), 26u);
+
+    // ...and through erase-of-min: from cycle 20, m2 starts (erasing
+    // the queue minimum) and commits under instant credit drain.
+    now = 20;
+    bool sawActive = false;
+    for (int i = 0; i < 40; ++i) {
+        for (const auto& f : step())
+            inj->acceptCredit(f.injChannel, f.vc);
+        if (!sawActive && stats->messagesCommitted.value() == 0) {
+            // Mid-worm, the injector demands every cycle.
+            EXPECT_EQ(inj->nextEventCycle(now), now + 1);
+            sawActive = true;
+        }
+    }
+    EXPECT_TRUE(sawActive);
+    EXPECT_EQ(stats->messagesCommitted.value(), 1u);
+    // The recomputed minimum fell back to m1's 100 — not m2's stale
+    // 20, and not kNeverCycle.
+    EXPECT_EQ(inj->nextEventCycle(now), 100u);
+}
+
 TEST_F(InjectorTest, RespectsCreditsFromRouter)
 {
     inj->enqueue(msgTo(5, 4));

@@ -84,17 +84,48 @@ TEST(TimeSeries, ExperimentCollectsSamplesThatSumToTotals)
     const RunResult r = runExperiment(cfg);
 
     ASSERT_FALSE(r.timeseries.empty());
-    // One sample each `interval` cycles over the whole run.
-    EXPECT_EQ(r.timeseries.size(), r.cyclesRun / cfg.sampleInterval);
+    // One sample each `interval` cycles over the whole run, plus a
+    // tail sample when the run ends mid-interval.
+    const std::size_t whole = r.cyclesRun / cfg.sampleInterval;
+    const bool tail = r.cyclesRun % cfg.sampleInterval != 0;
+    EXPECT_EQ(r.timeseries.size(), whole + (tail ? 1u : 0u));
     std::uint64_t delivered = 0;
     for (std::size_t i = 0; i < r.timeseries.size(); ++i) {
-        EXPECT_EQ(r.timeseries[i].at,
-                  (i + 1) * cfg.sampleInterval);
+        const Cycle expect_at =
+            i < whole ? (i + 1) * cfg.sampleInterval : r.cyclesRun;
+        EXPECT_EQ(r.timeseries[i].at, expect_at);
         delivered += r.timeseries[i].delivered;
     }
     // Interval deltas re-sum to at least every measured delivery
     // (warmup/drain deliveries count too, so >=).
     EXPECT_GE(delivered, r.deliveredMeasured);
+}
+
+TEST(TimeSeries, TailSampleFlushedForRunsEndingMidInterval)
+{
+    SimConfig cfg = smallTorus();
+    cfg.sampleInterval = 64;
+    Network net(cfg);
+    net.run(200);
+    const std::vector<TimeSeriesSample> s = net.timeseriesSamples();
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0].at, 64u);
+    EXPECT_EQ(s[1].at, 128u);
+    EXPECT_EQ(s[2].at, 192u);
+    EXPECT_EQ(s[3].at, 200u);  // Partial tail: cycles 192..200.
+
+    // The tail is a peek, not a committed sample: running on to the
+    // next boundary yields the same boundary sample an undisturbed
+    // run would (the differencing baselines never advanced).
+    net.run(56);
+    const std::vector<TimeSeriesSample> s2 = net.timeseriesSamples();
+    ASSERT_EQ(s2.size(), 4u);
+    EXPECT_EQ(s2[3].at, 256u);
+
+    // A run ending exactly on a boundary gets no extra sample.
+    Network exact(cfg);
+    exact.run(128);
+    EXPECT_EQ(exact.timeseriesSamples().size(), 2u);
 }
 
 TEST(TimeSeries, DisabledByDefault)

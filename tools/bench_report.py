@@ -1,33 +1,36 @@
 #!/usr/bin/env python3
-"""Measure the cycle engine and emit BENCH_pr5.json.
+"""Measure the cycle engine and emit BENCH_pr8.json.
 
 Every crnet bench ends with a machine-parseable footer:
 
   timing: runs=N wall_s=S sims_per_s=R flit_events=E \
       flit_events_per_s=F jobs=J cores=C
 
-This script runs a selection of benches three ways per bench —
+This script runs a selection of benches four ways per bench —
 
   sweep_jobs1   exhaustive per-node scheduler, sequential
   active_jobs1  active-set scheduler (the default), sequential
+  event_jobs1   skip-ahead event scheduler, sequential
   active_jobsN  active-set scheduler under the parallel engine
 
-— parses the footers, checks that all three report identical
+— parses the footers, checks that every leg reports identical
 flit_events (the schedulers are bit-identical and the parallel engine
 is deterministic, so any difference is a correctness bug, not noise),
 and writes a JSON report recording per-bench wall-clock, throughput,
-the scheduler speedup (active vs sweep) and the parallel speedup,
-together with the host core count so the numbers are interpretable.
+the scheduler speedups (active vs sweep, event vs active) and the
+parallel speedup, together with the host core count so the numbers
+are interpretable.
 
 With --baseline the report's headline throughput (active_jobs1, the
 default configuration) is compared against an earlier report —
-v1 (BENCH_pr3.json) or v2 — and the script fails if any bench
-present in both regressed by more than --max-regression.
+v1 (BENCH_pr3.json), v2 (BENCH_pr5.json) or v3 — and the script
+fails if any bench present in both regressed by more than
+--max-regression.
 
 Usage:
   tools/bench_report.py [--build-dir build] [--jobs N]
-                        [--out BENCH_pr5.json] [--quick]
-                        [--baseline BENCH_pr3.json]
+                        [--out BENCH_pr8.json] [--quick]
+                        [--baseline BENCH_pr5.json]
                         [--max-regression 0.15]
 
 The default bench set covers a mid-load sweep, the dynamic-fault
@@ -43,7 +46,7 @@ import re
 import subprocess
 import sys
 
-SCHEMA = "crnet-bench-report-v2"
+SCHEMA = "crnet-bench-report-v3"
 
 # (bench binary, extra args). The overrides shrink simulated spans so
 # report generation stays cheap; all runs of one bench use identical
@@ -98,9 +101,10 @@ def run_bench(path, args, sched, jobs):
 def baseline_fps(baseline, name):
     """Headline flit_events_per_s of one bench in a prior report.
 
-    Understands both the v1 schema (one scheduler: benches[name].jobs1)
-    and the v2 schema (benches[name].active_jobs1). Returns None when
-    the bench is absent (e.g. added after the baseline was recorded).
+    Understands the v1 schema (one scheduler: benches[name].jobs1)
+    and the v2/v3 schemas (benches[name].active_jobs1). Returns None
+    when the bench is absent (e.g. added after the baseline was
+    recorded).
     """
     bench = baseline.get("benches", {}).get(name)
     if bench is None:
@@ -118,11 +122,11 @@ def main():
     ap.add_argument("--jobs", type=int,
                     default=min(8, os.cpu_count() or 1),
                     help="parallel job count to compare against jobs=1")
-    ap.add_argument("--out", default="BENCH_pr5.json")
+    ap.add_argument("--out", default="BENCH_pr8.json")
     ap.add_argument("--quick", action="store_true",
                     help="shrink simulated spans for a fast report")
     ap.add_argument("--baseline",
-                    help="prior report (v1 or v2) to compare against")
+                    help="prior report (v1/v2/v3) to compare against")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="max tolerated headline throughput loss "
                          "vs --baseline (fraction, default 0.15)")
@@ -151,11 +155,13 @@ def main():
         print(f"{name}:", file=sys.stderr)
         sweep1 = run_bench(path, args, "sweep", 1)
         active1 = run_bench(path, args, "active", 1)
+        event1 = run_bench(path, args, "event", 1)
         # The parallel leg only means something with a second worker
         # (and at jobs=1 its dict key would collide with active_jobs1).
         activeN = (run_bench(path, args, "active", opts.jobs)
                    if opts.jobs > 1 else None)
-        footers = [sweep1, active1] + ([activeN] if activeN else [])
+        footers = [sweep1, active1, event1] + (
+            [activeN] if activeN else [])
         events = {f["flit_events"] for f in footers}
         if len(events) != 1:
             raise SystemExit(
@@ -165,14 +171,21 @@ def main():
         sched_speedup = (active1["flit_events_per_s"] /
                          sweep1["flit_events_per_s"]
                          if sweep1["flit_events_per_s"] else 0.0)
+        event_speedup = (event1["flit_events_per_s"] /
+                         active1["flit_events_per_s"]
+                         if active1["flit_events_per_s"] else 0.0)
         report["benches"][name] = {
             "args": args,
             "sweep_jobs1": sweep1,
             "active_jobs1": active1,
+            "event_jobs1": event1,
             "sched_speedup": round(sched_speedup, 3),
+            "event_speedup": round(event_speedup, 3),
         }
         print(f"  scheduler speedup (active/sweep): "
               f"{sched_speedup:.2f}x", file=sys.stderr)
+        print(f"  skip-ahead speedup (event/active): "
+              f"{event_speedup:.2f}x", file=sys.stderr)
         if activeN is not None:
             par_speedup = (active1["wall_s"] / activeN["wall_s"]
                            if activeN["wall_s"] > 0 else 0.0)
