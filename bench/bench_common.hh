@@ -43,6 +43,10 @@ baseConfig()
     cfg.measureCycles = 5000;
     cfg.drainCycles = 60000;
     cfg.seed = 20260706;
+    // Benches self-profile by default (`profile:` footer). Off the
+    // results path: stats/traces are byte-identical either way, and
+    // CI byte-diff steps strip the footer like `timing:`.
+    cfg.profileEnabled = true;
     return cfg;
 }
 
@@ -111,6 +115,7 @@ struct SuiteTotals
     double wallSeconds = 0.0;      //!< Engine wall-clock (batch spans).
     std::uint64_t flitEvents = 0;  //!< Total data-flit events.
     unsigned jobs = 1;             //!< Worker threads last used.
+    ProfileData profile;           //!< Merged self-profiles.
 };
 
 inline SuiteTotals&
@@ -135,18 +140,21 @@ inline void
 record(const ReplicatedResult& r)
 {
     record(r.replications, r.wallSeconds, r.flitEvents);
+    suiteTotals().profile.merge(r.profile);
 }
 
 inline void
 record(const SaturationResult& r)
 {
     record(r.probes, r.wallSeconds, r.flitEvents);
+    suiteTotals().profile.merge(r.profile);
 }
 
 inline void
 record(const CampaignSummary& s)
 {
     record(s.trials, s.wallSeconds, s.flitEvents);
+    suiteTotals().profile.merge(s.profile);
 }
 
 /**
@@ -164,8 +172,10 @@ sweep(const std::vector<SimConfig>& points)
                             std::chrono::steady_clock::now() - start)
                             .count();
     std::uint64_t flit_events = 0;
-    for (const RunResult& r : out)
+    for (const RunResult& r : out) {
         flit_events += r.flitEvents;
+        suiteTotals().profile.merge(r.profile);
+    }
     suiteTotals().jobs =
         resolveJobs(points.empty() ? 0 : points.front().jobs);
     record(points.size(), wall, flit_events);
@@ -197,6 +207,30 @@ timingFooter()
                 static_cast<unsigned long long>(t.flitEvents),
                 static_cast<double>(t.flitEvents) / wall, t.jobs,
                 hardwareJobs());
+    // Self-profiler footer (same one-line no-comma contract as
+    // `timing:`). Always printed — CI asserts its presence — with
+    // enabled=0 and zeros when the bench ran with profile=0.
+    const ProfileData& p = t.profile;
+    std::printf(
+        "profile: enabled=%d runs=%zu warmup_s=%.3f measure_s=%.3f "
+        "drain_s=%.3f ticks=%llu sampled=%llu stride=%u "
+        "tick_deliver_s=%.3f tick_generate_s=%.3f "
+        "tick_injectors_s=%.3f tick_routers_s=%.3f "
+        "tick_receivers_s=%.3f tick_audit_s=%.3f tick_sample_s=%.3f "
+        "tick_quiet_s=%.3f quiet_spans=%llu quiet_cycles=%llu\n",
+        p.enabled ? 1 : 0, t.runs, p.warmupSeconds, p.measureSeconds,
+        p.drainSeconds, static_cast<unsigned long long>(p.ticks),
+        static_cast<unsigned long long>(p.sampledTicks), p.stride,
+        p.tickSeconds(TickPhase::Deliver),
+        p.tickSeconds(TickPhase::Generate),
+        p.tickSeconds(TickPhase::Injectors),
+        p.tickSeconds(TickPhase::Routers),
+        p.tickSeconds(TickPhase::Receivers),
+        p.tickSeconds(TickPhase::Audit),
+        p.tickSeconds(TickPhase::Sample),
+        p.tickSeconds(TickPhase::Quiet),
+        static_cast<unsigned long long>(p.quietSpans),
+        static_cast<unsigned long long>(p.quietCycles));
 }
 
 } // namespace crnet::bench

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "src/core/annotations.hh"
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/snapshot.hh"
+#include "src/sim/telemetry.hh"
 #include "src/sim/trace.hh"
 #include "src/sim/walltime.hh"
 
@@ -88,13 +90,19 @@ summarize(const Network& net, bool drained, Cycle cycles)
 
 namespace {
 
-/** Measurement window + drain over an already-warm network. */
+/**
+ * Measurement window + drain over an already-warm network. When a
+ * profiler is passed it receives the measure/drain phase split and
+ * its accumulated data is copied into the result's profile block.
+ */
 RunResult
-measureAndDrain(Network& net, const SimConfig& cfg)
+measureAndDrain(Network& net, const SimConfig& cfg, TickProfiler* prof)
 {
+    const WallTimer phase;
     net.setMeasuring(true);
     net.run(cfg.measureCycles);
     net.setMeasuring(false);
+    const double measure_s = phase.seconds();
 
     // Drain: keep offered load applied; wait for tagged messages.
     // The final step is clamped so cyclesRun honors cfg.drainCycles
@@ -108,7 +116,14 @@ measureAndDrain(Network& net, const SimConfig& cfg)
         spent += step;
         drained = net.measuredDrained();
     }
-    return summarize(net, drained, net.now());
+    RunResult r = summarize(net, drained, net.now());
+    if (prof != nullptr) {
+        ProfileData& p = prof->data();
+        p.measureSeconds += measure_s;
+        p.drainSeconds += phase.seconds() - measure_s;
+        r.profile = p;
+    }
+    return r;
 }
 
 } // namespace
@@ -118,12 +133,18 @@ runExperiment(const SimConfig& cfg)
 {
     const WallTimer timer;
     Network net(cfg);
+    TickProfiler prof;
+    const bool profiled = cfg.profileEnabled;
+    if (profiled)
+        net.attachProfiler(&prof);
 
     // Warmup: traffic flows, nothing is tagged.
     net.setMeasuring(false);
     net.run(cfg.warmupCycles);
+    if (profiled)
+        prof.data().warmupSeconds = timer.seconds();
 
-    RunResult r = measureAndDrain(net, cfg);
+    RunResult r = measureAndDrain(net, cfg, profiled ? &prof : nullptr);
     r.wallSeconds = timer.seconds();
     return r;
 }
@@ -134,6 +155,18 @@ runMany(const std::vector<SimConfig>& points)
     std::vector<RunResult> out(points.size());
     const unsigned jobs =
         resolveJobs(points.empty() ? 0 : points.front().jobs);
+
+    // Live status (status=<path>): one shared writer for the whole
+    // batch, reporting run starts/completions. Purely observational —
+    // results are identical with or without it.
+    std::unique_ptr<StatusWriter> status;
+    if (!points.empty() && !points.front().statusFile.empty()) {
+        status = std::make_unique<StatusWriter>(
+            points.front().statusFile,
+            points.front().statusEverySeconds, "sweep", points.size(),
+            jobs);
+    }
+
     parallelFor(points.size(), jobs, [&](std::size_t i) {
         // Give each run its own trace/time-series sink: suffix the
         // resolved prefix so jobs=N writes N distinct files whose
@@ -144,8 +177,23 @@ runMany(const std::vector<SimConfig>& points)
             if (!prefix.empty())
                 cfg.traceFile = prefix + "_run" + std::to_string(i);
         }
+        if (status != nullptr)
+            status->unitPhase(i, "run", 0);
         out[i] = runExperiment(cfg);
+        if (status != nullptr) {
+            StatusWriter::UnitRow row;
+            row.index = i;
+            row.seed = cfg.seed;
+            row.ok = out[i].drained && !out[i].deadlocked;
+            row.deadlocked = out[i].deadlocked;
+            row.accepted = out[i].measuredMessages;
+            row.delivered = out[i].deliveredMeasured;
+            row.cycles = out[i].cyclesRun;
+            status->unitDone(row, {});
+        }
     });
+    if (status != nullptr)
+        status->finish();
     return out;
 }
 
@@ -174,6 +222,7 @@ foldReplications(const std::vector<RunResult>& runs)
         out.allDrained = out.allDrained && r.drained;
         out.anyDeadlock = out.anyDeadlock || r.deadlocked;
         out.flitEvents += r.flitEvents;
+        out.profile.merge(r.profile);
     }
     const double root_n =
         std::sqrt(static_cast<double>(runs.size()));
@@ -237,12 +286,19 @@ runReplicatedWarm(SimConfig cfg, std::uint32_t replications)
                                 prefix + "_run" + std::to_string(i);
                     }
                     Network net(forked);
+                    // Per-fork profiler; the shared warmup is not
+                    // attributed (it ran once, before the forks).
+                    TickProfiler prof;
+                    if (forked.profileEnabled)
+                        net.attachProfiler(&prof);
                     const std::string err =
                         restoreSnapshot(net, warm);
                     if (!err.empty())
                         fatal("warm-start restore failed: ", err);
                     net.reseedStreams(cfg.seed + i);
-                    runs[i] = measureAndDrain(net, forked);
+                    runs[i] = measureAndDrain(
+                        net, forked,
+                        forked.profileEnabled ? &prof : nullptr);
                 });
     ReplicatedResult out = foldReplications(runs);
     out.wallSeconds = timer.seconds();
@@ -262,6 +318,7 @@ findSaturation(SimConfig cfg, double lo, double hi, double tolerance,
         const RunResult r = runExperiment(cfg);
         ++res.probes;
         res.flitEvents += r.flitEvents;
+        res.profile.merge(r.profile);
         return r.drained && !r.deadlocked &&
                r.avgLatency < latency_cap;
     };

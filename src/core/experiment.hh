@@ -53,6 +53,8 @@ struct SaturationResult
     std::uint32_t probes = 0;      //!< Experiments run.
     std::uint64_t flitEvents = 0;  //!< Work across all probes.
     double wallSeconds = 0.0;      //!< Wall-clock for the search.
+    ProfileData profile;           //!< Merged probe profiles
+                                   //!< (`profile=1`; else disabled).
 };
 
 /**
@@ -93,6 +95,8 @@ struct ReplicatedResult
     bool anyDeadlock = false;
     std::uint64_t flitEvents = 0;  //!< Work across all replications.
     double wallSeconds = 0.0;      //!< Wall-clock for the batch.
+    ProfileData profile;           //!< Merged run profiles
+                                   //!< (`profile=1`; else disabled).
 };
 
 /**

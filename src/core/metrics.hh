@@ -15,6 +15,7 @@
 #include "src/core/timeseries.hh"
 #include "src/router/router.hh"
 #include "src/sim/stats.hh"
+#include "src/sim/telemetry.hh"
 #include "src/sim/types.hh"
 
 namespace crnet {
@@ -127,6 +128,12 @@ struct RunResult
      */
     std::uint64_t flitEvents = 0;
     double wallSeconds = 0.0;      //!< Host wall-clock for this run.
+    /**
+     * Self-profiler output (`profile=1`): wall time attributed to
+     * warmup/measure/drain and tick sub-phases. Like wallSeconds,
+     * excluded from every byte-identity comparison.
+     */
+    ProfileData profile;
 };
 
 } // namespace crnet

@@ -547,18 +547,31 @@ void
 Network::sweepAll()
 {
     const NodeId n = topo_->numNodes();
+    std::uint64_t pt = profTimed_ ? TickProfiler::stamp() : 0;
     for (NodeId id = 0; id < n; ++id) {
         injectors_[id]->tick(now_);
         collectInjector(id);
+    }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Injectors, t - pt);
+        pt = t;
     }
     for (NodeId id = 0; id < n; ++id) {
         routers_[id]->tick(now_);
         collectRouter(id);
     }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
     for (NodeId id = 0; id < n; ++id) {
         receivers_[id]->tick(now_);
         collectReceiver(id);
     }
+    if (profTimed_)
+        prof_->add(TickPhase::Receivers, TickProfiler::stamp() - pt);
 }
 
 void
@@ -571,6 +584,7 @@ Network::sweepActive()
     // sweep's tick order exactly. Sleeping components contribute
     // nothing in either mode — ticking an idle component is a no-op.
     const NodeId n = topo_->numNodes();
+    std::uint64_t pt = profTimed_ ? TickProfiler::stamp() : 0;
     for (NodeId id = 0; id < n; ++id) {
         if (injAwake_[id] == 0)
             continue;
@@ -579,6 +593,11 @@ Network::sweepActive()
         injectors_[id]->tick(now_);
         collectInjector(id);
         scheduleInjector(id, injectors_[id]->nextEventCycle(now_));
+    }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Injectors, t - pt);
+        pt = t;
     }
     for (NodeId id = 0; id < n; ++id) {
         if (rtrAwake_[id] == 0)
@@ -601,6 +620,11 @@ Network::sweepActive()
             --rtrAwakeN_;
         }
     }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
     for (NodeId id = 0; id < n; ++id) {
         if (rcvAwake_[id] == 0)
             continue;
@@ -610,11 +634,20 @@ Network::sweepActive()
         collectReceiver(id);
         scheduleReceiver(id, receivers_[id]->nextEventCycle(now_));
     }
+    if (profTimed_)
+        prof_->add(TickPhase::Receivers, TickProfiler::stamp() - pt);
 }
 
 void
 Network::tick()
 {
+    // Self-profiler: one tick in every stride is clock-stamped
+    // phase-by-phase (profTimed_); audit and sampling work is rare
+    // enough to be timed exactly. Everything here is observability
+    // only — stamps never feed back into simulation state.
+    profTimed_ = prof_ != nullptr && prof_->armTick();
+    std::uint64_t pt = profTimed_ ? TickProfiler::stamp() : 0;
+
     CRNET_AUDIT_HOOK(audit_.get(), beginCycle(now_));
     if (trace_ != nullptr)
         trace_->beginCycle(now_);
@@ -623,7 +656,19 @@ Network::tick()
     if (activeSched_)
         popDueDeadlines();
     deliver();
+    if (profTimed_) {
+        // Cycle-open bookkeeping (faults, deadlines, trace) rides
+        // with the delivery phase.
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Deliver, t - pt);
+        pt = t;
+    }
     generate();
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Generate, t - pt);
+        pt = t;
+    }
 
     if (activeSched_)
         sweepActive();
@@ -640,13 +685,24 @@ Network::tick()
         reportDeadlockForensics();
     }
 #if CRNET_AUDIT_ENABLED
-    if (audit_ != nullptr && now_ % cfg_.auditInterval == 0)
+    if (audit_ != nullptr && now_ % cfg_.auditInterval == 0) {
+        const std::uint64_t a0 =
+            prof_ != nullptr ? TickProfiler::stamp() : 0;
         runAuditSweep();
+        if (prof_ != nullptr)
+            prof_->add(TickPhase::Audit, TickProfiler::stamp() - a0);
+    }
 #endif
     if (timeseries_ != nullptr &&
         (now_ + 1) % timeseries_->interval() == 0) {
+        const std::uint64_t s0 =
+            prof_ != nullptr ? TickProfiler::stamp() : 0;
         takeSample();
+        if (prof_ != nullptr)
+            prof_->add(TickPhase::Sample, TickProfiler::stamp() - s0);
     }
+    if (profTimed_)
+        sampleTelemetryGauges();
     ++now_;
 }
 
@@ -995,6 +1051,12 @@ Network::runQuietSpan(Cycle end)
         return;
     }
 
+    // Quiet spans are timed whole (batched draws + boundary walk) and
+    // attributed to the profiler's quiet phase; the trailing tick()
+    // times itself.
+    const std::uint64_t q0 =
+        prof_ != nullptr ? TickProfiler::stamp() : 0;
+
     // Arrival-free prefix of [now_, limit): the generator consumes
     // exactly the per-cycle draw stream for the quiet cycles and
     // rewinds to the start of the first cycle with an arrival, so the
@@ -1043,8 +1105,54 @@ Network::runQuietSpan(Cycle end)
         ++now_;
     }
 
+    if (prof_ != nullptr)
+        prof_->noteQuietSpan(quiet, TickProfiler::stamp() - q0);
+
     if (now_ < limit)
         tick();  // First cycle with an arrival.
+}
+
+void
+Network::attachProfiler(TickProfiler* prof)
+{
+    prof_ = prof;
+    profTimed_ = false;
+    if (prof == nullptr) {
+        gaugeInjAwake_ = gaugeRtrAwake_ = gaugeRcvAwake_ = nullptr;
+        gaugeWaveOcc_ = gaugeQuietSkipped_ = gaugeRngMessages_ =
+            nullptr;
+        histInjHeap_ = histRcvHeap_ = nullptr;
+        return;
+    }
+    Telemetry& reg = Telemetry::instance();
+    gaugeInjAwake_ = reg.gauge("sched.injectors_awake");
+    gaugeRtrAwake_ = reg.gauge("sched.routers_awake");
+    gaugeRcvAwake_ = reg.gauge("sched.receivers_awake");
+    gaugeWaveOcc_ = reg.gauge("sched.wave_ring_occupancy");
+    gaugeQuietSkipped_ = reg.gauge("sched.quiet_cycles_skipped");
+    gaugeRngMessages_ = reg.gauge("rng.messages_generated");
+    histInjHeap_ = reg.histogram("sched.injector_heap_size");
+    histRcvHeap_ = reg.histogram("sched.receiver_heap_size");
+}
+
+void
+Network::sampleTelemetryGauges()
+{
+    gaugeInjAwake_->store(injAwakeN_, std::memory_order_relaxed);
+    gaugeRtrAwake_->store(rtrAwakeN_, std::memory_order_relaxed);
+    gaugeRcvAwake_->store(rcvAwakeN_, std::memory_order_relaxed);
+    std::uint64_t occ = 0;
+    for (const Wave& w : buckets_) {
+        occ += w.flits.size() + w.recvFlits.size() + w.credits.size() +
+               w.injCredits.size() + w.bkills.size() + w.aborts.size();
+    }
+    gaugeWaveOcc_->store(occ, std::memory_order_relaxed);
+    gaugeQuietSkipped_->store(quietCyclesSkipped_,
+                              std::memory_order_relaxed);
+    gaugeRngMessages_->store(generator_->generatedCount(),
+                             std::memory_order_relaxed);
+    histInjHeap_->observe(injDeadlines_.size());
+    histRcvHeap_->observe(rcvDeadlines_.size());
 }
 
 MsgId

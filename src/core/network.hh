@@ -13,6 +13,7 @@
 #ifndef CRNET_CORE_NETWORK_HH
 #define CRNET_CORE_NETWORK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -146,6 +147,16 @@ class Network : public DeliverySink, public MessageFailureSink
      * forwarded flits and blocked cycles). Null unless heatmap=1.
      */
     std::shared_ptr<const HeatmapData> collectHeatmap() const;
+
+    /**
+     * Attach the per-run self-profiler (src/sim/telemetry.hh); null
+     * detaches. Off the results path: an unprofiled run pays exactly
+     * one null-pointer branch per hook, and a profiled run's results
+     * are byte-identical to an unprofiled one. Attaching also caches
+     * the scheduler/occupancy gauges of the process-wide telemetry
+     * registry, refreshed on the profiler's sampled ticks.
+     */
+    void attachProfiler(TickProfiler* prof);
 
     /** Messages counted into the measurement window. */
     std::uint64_t measuredCreated() const { return measuredCreated_; }
@@ -375,6 +386,13 @@ class Network : public DeliverySink, public MessageFailureSink
     void takeSample();
 
     /**
+     * Refresh the cached registry gauges/histograms (awake counts,
+     * wave-ring occupancy, deadline-heap sizes, generator draws).
+     * Runs only on the profiler's sampled ticks; allocation-free.
+     */
+    void sampleTelemetryGauges();
+
+    /**
      * Instantaneous gauges for a time-series sample: in-flight worms
      * and buffered flits, flag-gated under the active-set schedulers
      * (a sleeping component's gauges are provably zero).
@@ -432,6 +450,21 @@ class Network : public DeliverySink, public MessageFailureSink
      */
     std::uint32_t injAwakeN_ = 0, rtrAwakeN_ = 0, rcvAwakeN_ = 0;
     Cycle quietCyclesSkipped_ = 0;
+
+    // --- Telemetry (off the results path; see telemetry.hh) --------
+    TickProfiler* prof_ = nullptr;
+    /** True while the current tick is being clock-stamped. */
+    bool profTimed_ = false;
+    // Registry handles, cached by attachProfiler (registration
+    // allocates; updates are single atomic stores, hot-path safe).
+    std::atomic<std::uint64_t>* gaugeInjAwake_ = nullptr;
+    std::atomic<std::uint64_t>* gaugeRtrAwake_ = nullptr;
+    std::atomic<std::uint64_t>* gaugeRcvAwake_ = nullptr;
+    std::atomic<std::uint64_t>* gaugeWaveOcc_ = nullptr;
+    std::atomic<std::uint64_t>* gaugeQuietSkipped_ = nullptr;
+    std::atomic<std::uint64_t>* gaugeRngMessages_ = nullptr;
+    TelemetryHistogram* histInjHeap_ = nullptr;
+    TelemetryHistogram* histRcvHeap_ = nullptr;
 
     Cycle now_ = 0;
     bool trafficEnabled_ = true;

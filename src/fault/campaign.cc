@@ -1,6 +1,8 @@
 #include "src/fault/campaign.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <mutex>
 
 #include "src/core/network.hh"
@@ -8,6 +10,7 @@
 #include "src/sim/log.hh"
 #include "src/sim/parallel.hh"
 #include "src/sim/snapshot.hh"
+#include "src/sim/telemetry.hh"
 #include "src/sim/walltime.hh"
 
 namespace crnet {
@@ -147,30 +150,65 @@ DeliveryLedger::loadState(StateReader& r)
 
 namespace {
 
+/** Short fault-event kind name for the status file. */
+const char*
+faultKindName(FaultEventKind kind)
+{
+    switch (kind) {
+    case FaultEventKind::LinkDeath: return "link_death";
+    case FaultEventKind::DirectedLinkDeath: return "directed_link_death";
+    case FaultEventKind::RouterFailStop: return "router_fail_stop";
+    case FaultEventKind::LinkRepair: return "link_repair";
+    case FaultEventKind::BurstStart: return "burst_start";
+    case FaultEventKind::BurstEnd: return "burst_end";
+    }
+    return "unknown";
+}
+
 /**
  * One attempt of one trial under a given drain budget. Sets
  * `*budget_exhausted` when the drain loop hit the cap while the
  * network was still active (neither quiescent nor deadlocked) — the
  * signal the watchdog retries on.
+ *
+ * Telemetry side-channels (all optional, all off the results path):
+ * `status` gets phase/cycle updates at the existing phase boundaries,
+ * `profile` accumulates this attempt's self-profile, and `fault_rows`
+ * is refilled with the trial's first few fault events for the status
+ * file's recent-events ring.
  */
 CRNET_RESULT_AFFECTING
 TrialOutcome
 runTrialOnce(const CampaignConfig& cc, std::uint32_t trial,
-             Cycle drain_cap, bool* budget_exhausted)
+             Cycle drain_cap, bool* budget_exhausted,
+             StatusWriter* status, ProfileData* profile,
+             std::vector<StatusWriter::FaultRow>* fault_rows)
 {
     SimConfig cfg = cc.base;
     cfg.seed = cc.seedBase + trial;
 
     Network net(cfg);
+    TickProfiler prof;
+    if (cfg.profileEnabled && profile != nullptr)
+        net.attachProfiler(&prof);
     DeliveryLedger ledger;
     net.attachLedger(&ledger);
 
+    const WallTimer phase;
+    if (status != nullptr)
+        status->unitPhase(trial, "warmup", 0);
     net.setMeasuring(false);
     net.run(cfg.warmupCycles);
+    const double warm_s = phase.seconds();
+    if (status != nullptr)
+        status->unitPhase(trial, "measure", net.now());
     net.setMeasuring(true);
     net.run(cfg.measureCycles);
     net.setMeasuring(false);
     net.setTrafficEnabled(false);
+    const double meas_s = phase.seconds();
+    if (status != nullptr)
+        status->unitPhase(trial, "drain", net.now());
 
     // Drain: let in-flight worms, retries and teardown traffic play
     // out until the network is quiescent (or provably stuck). The
@@ -181,8 +219,31 @@ runTrialOnce(const CampaignConfig& cc, std::uint32_t trial,
         const Cycle step = std::min<Cycle>(64, drain_cap - drained);
         net.run(step);
         drained += step;
+        if (status != nullptr)
+            status->unitPhase(trial, "drain", net.now());
     }
     *budget_exhausted = !net.quiescent() && !net.deadlocked();
+
+    if (cfg.profileEnabled && profile != nullptr) {
+        ProfileData& p = prof.data();
+        p.warmupSeconds += warm_s;
+        p.measureSeconds += meas_s - warm_s;
+        p.drainSeconds += phase.seconds() - meas_s;
+        profile->merge(p);
+    }
+    if (fault_rows != nullptr) {
+        fault_rows->clear();
+        const FaultSchedule* fs = net.schedule();
+        if (fs != nullptr) {
+            constexpr std::size_t kMaxRows = 4;
+            for (const FaultEvent& ev : fs->events()) {
+                if (fault_rows->size() >= kMaxRows)
+                    break;
+                fault_rows->push_back(StatusWriter::FaultRow{
+                    trial, ev.at, faultKindName(ev.kind)});
+            }
+        }
+    }
 
     TrialOutcome t;
     t.trial = trial;
@@ -245,16 +306,19 @@ runTrialOnce(const CampaignConfig& cc, std::uint32_t trial,
  */
 CRNET_RESULT_AFFECTING
 TrialOutcome
-runTrial(const CampaignConfig& cc, std::uint32_t trial)
+runTrial(const CampaignConfig& cc, std::uint32_t trial,
+         StatusWriter* status, ProfileData* profile)
 {
     TrialOutcome t;
+    std::vector<StatusWriter::FaultRow> faults;
     for (std::uint32_t attempt = 0;; ++attempt) {
         const Cycle cap = cc.drainCap << attempt;
         bool exhausted = false;
-        t = runTrialOnce(cc, trial, cap, &exhausted);
+        t = runTrialOnce(cc, trial, cap, &exhausted, status, profile,
+                         status != nullptr ? &faults : nullptr);
         t.budgetRetries = attempt;
         if (!exhausted)
-            return t;
+            break;
         if (attempt >= cc.trialRetries) {
             t.quarantined = true;
             t.fullyAccounted = false;
@@ -262,12 +326,25 @@ runTrial(const CampaignConfig& cc, std::uint32_t trial)
                  ") still active after ", attempt + 1,
                  " drain budgets up to ", cap,
                  " cycles; quarantining it");
-            return t;
+            break;
         }
         warn("campaign trial ", trial, " (seed ", t.seed,
              ") exhausted its ", cap,
              "-cycle drain budget; retrying with double the budget");
     }
+    if (status != nullptr) {
+        StatusWriter::UnitRow row;
+        row.index = trial;
+        row.seed = t.seed;
+        row.ok = t.fullyAccounted;
+        row.deadlocked = t.deadlocked;
+        row.quarantined = t.quarantined;
+        row.accepted = t.accepted;
+        row.delivered = t.delivered;
+        row.cycles = t.cyclesRun;
+        status->unitDone(row, faults);
+    }
+    return t;
 }
 
 // --- Crash-resume journal ----------------------------------------------
@@ -507,16 +584,56 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
             fatal("cannot write campaign journal: ", err);
     }
 
+    // Live status (status=<path>): purely observational — the summary
+    // and trial rows are identical with or without it. Replayed trials
+    // are reported up front so the live aggregates cover the whole
+    // campaign, not just the trials this process runs.
+    std::unique_ptr<StatusWriter> status;
+    if (!cc.base.statusFile.empty()) {
+        status = std::make_unique<StatusWriter>(
+            cc.base.statusFile, cc.base.statusEverySeconds, "campaign",
+            cc.trials, resolveJobs(cc.base.jobs));
+        status->noteResumed(s.resumedTrials);
+        for (std::uint32_t i = 0; i < cc.trials; ++i) {
+            if (!have[i])
+                continue;
+            const TrialOutcome& t = trials[i];
+            StatusWriter::UnitRow row;
+            row.index = i;
+            row.seed = t.seed;
+            row.ok = t.fullyAccounted;
+            row.deadlocked = t.deadlocked;
+            row.quarantined = t.quarantined;
+            row.accepted = t.accepted;
+            row.delivered = t.delivered;
+            row.cycles = t.cyclesRun;
+            status->unitDone(row, {});
+        }
+    }
+
+    // Journal telemetry: registry-owned atomics, observability only.
+    std::atomic<std::uint64_t>* const journalBytesCtr =
+        Telemetry::instance().counter("campaign.journal_bytes");
+    std::atomic<std::uint64_t>* const trialsDoneCtr =
+        Telemetry::instance().counter("campaign.trials_completed");
+
     // Trials are fully independent (each owns its Network, Rng and
     // ledger), so fan them out and aggregate in trial order — the
     // summary and the per-trial rows match a sequential campaign
     // (and a resumed one) bit for bit regardless of completion order.
+    // Per-trial self-profiles, merged into the summary in trial order
+    // after the fan-out (resumed trials contribute nothing).
+    std::vector<ProfileData> profs(cc.trials);
+
     parallelFor(cc.trials, resolveJobs(cc.base.jobs),
                 [&](std::size_t trial) {
                     if (have[trial])
                         return;
                     trials[trial] = runTrial(
-                        cc, static_cast<std::uint32_t>(trial));
+                        cc, static_cast<std::uint32_t>(trial),
+                        status.get(), &profs[trial]);
+                    trialsDoneCtr->fetch_add(
+                        1, std::memory_order_relaxed);
                     if (!journaled)
                         return;
                     StateWriter payload;
@@ -528,6 +645,9 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
                     journalBytes.insert(journalBytes.end(),
                                         record.bytes().begin(),
                                         record.bytes().end());
+                    journalBytesCtr->fetch_add(
+                        record.bytes().size(),
+                        std::memory_order_relaxed);
                     const std::string err = atomicWriteFile(
                         cc.journalPath, journalBytes);
                     if (!err.empty())
@@ -574,6 +694,10 @@ runCampaign(const CampaignConfig& cc, std::vector<TrialOutcome>* out)
     s.meanPostFaultLatency = post_n > 0 ? post_sum / post_n : 0.0;
     s.meanRecoveryCycles =
         cc.trials > 0 ? rec_sum / cc.trials : 0.0;
+    for (const ProfileData& p : profs)
+        s.profile.merge(p);
+    if (status != nullptr)
+        status->finish();
     s.wallSeconds = timer.seconds();
     return s;
 }

@@ -29,6 +29,7 @@
 #include "src/core/annotations.hh"
 #include "src/nic/receiver.hh"
 #include "src/sim/config.hh"
+#include "src/sim/telemetry.hh"
 #include "src/sim/types.hh"
 #include "src/traffic/message.hh"
 
@@ -208,6 +209,13 @@ struct CampaignSummary
      */
     std::uint32_t resumedTrials = 0;
     double wallSeconds = 0.0;      //!< Wall-clock for the campaign.
+    /**
+     * Merged per-trial self-profiles (base.profileEnabled), folded in
+     * trial order. Resumed trials contribute nothing — their wall
+     * time was spent in an earlier process. Excluded (with
+     * wallSeconds) from byte-identity comparisons.
+     */
+    ProfileData profile;
 };
 
 /**

@@ -115,6 +115,9 @@ SimConfig::validate() const
         fatal("auditInterval must be >= 1");
     if (jobs > 1024)
         fatal("jobs must be in [0, 1024] (got ", jobs, ")");
+    if (statusEverySeconds < 0.0)
+        fatal("statusEverySeconds must be >= 0 (got ",
+              statusEverySeconds, ")");
 }
 
 SimConfig&
@@ -189,6 +192,11 @@ SimConfig::set(const std::string& key, const std::string& value)
     else if (key == "sample_interval") sampleInterval =
         parseU64(key, value);
     else if (key == "heatmap") heatmapEnabled =
+        parseU64(key, value) != 0;
+    else if (key == "status") statusFile = value;
+    else if (key == "status_interval") statusEverySeconds =
+        parseF64(key, value);
+    else if (key == "profile") profileEnabled =
         parseU64(key, value) != 0;
     else if (key == "jobs") jobs =
         static_cast<std::uint32_t>(parseU64(key, value));

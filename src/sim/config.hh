@@ -183,6 +183,23 @@ struct SimConfig
      * RunResult::heatmap.
      */
     bool heatmapEnabled = false;
+    /**
+     * Live status file (src/sim/telemetry.hh): the campaign / sweep
+     * engines atomically rewrite this JSON every `statusEverySeconds`
+     * wall-seconds with progress, ETA and recent fault events;
+     * tools/crnet_top.py tails it. "" = disabled. Like traceFile,
+     * excluded from configFingerprint and byte-identical on/off.
+     */
+    std::string statusFile;
+    /** Min wall-seconds between status rewrites (0 = every update). */
+    double statusEverySeconds = 2.0;
+    /**
+     * Attach the per-run self-profiler (src/sim/telemetry.hh):
+     * attributes wall time to warmup/measure/drain and tick sub-phases
+     * into RunResult::profile / CampaignSummary::profile and the
+     * `profile:` bench footer. Off the results path; <2% overhead.
+     */
+    bool profileEnabled = false;
 
     // --- Experiment ---------------------------------------------------
     /**

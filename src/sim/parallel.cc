@@ -1,9 +1,12 @@
 #include "src/sim/parallel.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 #include "src/sim/log.hh"
+#include "src/sim/telemetry.hh"
+#include "src/sim/walltime.hh"
 
 namespace crnet {
 
@@ -34,6 +37,9 @@ resolveJobs(unsigned requested)
 ThreadPool::ThreadPool(unsigned jobs)
 {
     jobs = std::clamp(jobs, 1u, kMaxJobs);
+    Telemetry::instance()
+        .gauge("pool.workers")
+        ->store(jobs, std::memory_order_relaxed);
     workers_.reserve(jobs);
     for (unsigned i = 0; i < jobs; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -75,6 +81,12 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    // Worker-utilization telemetry: registry-owned atomics, updated
+    // outside the pool lock; observability only (docs/OBSERVABILITY.md).
+    std::atomic<std::uint64_t>* const tasks =
+        Telemetry::instance().counter("pool.tasks");
+    std::atomic<std::uint64_t>* const busy =
+        Telemetry::instance().counter("pool.busy_nanos");
     for (;;) {
         std::function<void()> task;
         {
@@ -87,7 +99,11 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        const std::uint64_t t0 = WallTimer::nanos();
         task();
+        tasks->fetch_add(1, std::memory_order_relaxed);
+        busy->fetch_add(WallTimer::nanos() - t0,
+                        std::memory_order_relaxed);
         {
             std::unique_lock<std::mutex> lock(mutex_);
             --inFlight_;

@@ -8,6 +8,7 @@
 
 #include "src/sim/snapshot.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include "src/sim/audit.hh"
 #include "src/sim/checksum.hh"
 #include "src/sim/config.hh"
+#include "src/sim/telemetry.hh"
 #include "src/traffic/message.hh"
 
 namespace crnet {
@@ -218,6 +220,10 @@ configFingerprint(const SimConfig& cfg)
     // a component that was never woken holds no state), and the
     // per-kind awake counts are recounted on load — so a snapshot
     // captured under sched=sweep restores under sched=event and vice
+    // versa. The telemetry keys (statusFile, statusEverySeconds,
+    // profileEnabled) are likewise excluded: telemetry on vs off is
+    // byte-identical (tests/test_telemetry.cc), so a checkpoint taken
+    // with profiling on restores into an unprofiled run and vice
     // versa. watchSpec *is* included because the watch list shapes
     // the tracer state the snapshot carries.
     StateWriter w;
@@ -349,6 +355,18 @@ atomicWriteFile(const std::string& path,
         return errnoMessage("cannot close", tmp);
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         return errnoMessage("cannot rename into place:", path);
+    // Telemetry: journal/snapshot/status write volume. Registered once
+    // per process; observability only, never read by results.
+    CRNET_ALLOW("global-state", "cached telemetry handles: "
+                "registry-owned atomics, observability only")
+    static std::atomic<std::uint64_t>* const writes =
+        Telemetry::instance().counter("io.atomic_write_calls");
+    CRNET_ALLOW("global-state", "cached telemetry handles: "
+                "registry-owned atomics, observability only")
+    static std::atomic<std::uint64_t>* const written =
+        Telemetry::instance().counter("io.atomic_write_bytes");
+    writes->fetch_add(1, std::memory_order_relaxed);
+    written->fetch_add(bytes.size(), std::memory_order_relaxed);
     return "";
 }
 

@@ -16,6 +16,7 @@
 #define CRNET_SIM_WALLTIME_HH
 
 #include <chrono>
+#include <cstdint>
 
 #include "src/core/annotations.hh"
 
@@ -47,6 +48,23 @@ class WallTimer
     CRNET_ALLOW("wallclock", "the bench timing shim: the single "
                 "registered wall-clock source in src/")
     void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /**
+     * Monotonic nanosecond stamp for the telemetry self-profiler
+     * (src/sim/telemetry.hh). Differences between stamps are
+     * meaningful; the absolute value is not. Allocation-free, so it
+     * is safe to call from CRNET_HOT_PATH code.
+     */
+    CRNET_ALLOW("wallclock", "the bench timing shim: the single "
+                "registered wall-clock source in src/; the telemetry "
+                "self-profiler reads the clock only through this stamp")
+    static std::uint64_t nanos()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
 
   private:
     std::chrono::steady_clock::time_point start_;

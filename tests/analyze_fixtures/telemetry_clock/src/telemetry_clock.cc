@@ -1,0 +1,37 @@
+// Fixture: a telemetry-style sampler whose sanctioned shim carries
+// CRNET_ALLOW("wallclock", ...) — but a second function reads the raw
+// clock directly. The suppression must cover only the annotated shim:
+// the raw read inside the same "telemetry" file still trips the rule.
+// Expected: exactly one `wallclock` violation, in rawStamp().
+
+#include <chrono>
+#include <cstdint>
+
+#define CRNET_ALLOW(rule, reason)
+
+namespace fx {
+
+CRNET_ALLOW("wallclock", "the registered telemetry clock shim: "
+            "profiler output only, never results")
+std::uint64_t
+shimStamp()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// A profiler hook that forgot the shim and stamps the clock itself.
+std::uint64_t
+rawStamp()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t
+sampleBoth()
+{
+    return shimStamp() + rawStamp();
+}
+
+} // namespace fx

@@ -9,6 +9,12 @@
  *
  * Args (key=value, any order):
  *   trials=N seed_base=S journal=PATH jobs=N
+ *   status=PATH status_interval=S profile=0|1
+ *
+ * The status/profile keys feed tests/test_status_schema.py: the same
+ * SIGKILL machinery that validates journal resume also validates that
+ * a status file is atomically rewritten (never torn) and that the
+ * summary stays byte-identical with telemetry enabled.
  */
 
 #include <cstdio>
@@ -51,6 +57,14 @@ main(int argc, char** argv)
         else if (std::strncmp(argv[i], "jobs=", 5) == 0)
             cc.base.jobs = static_cast<std::uint32_t>(
                 std::strtoul(argv[i] + 5, nullptr, 10));
+        else if (std::strncmp(argv[i], "status=", 7) == 0)
+            cc.base.statusFile = argv[i] + 7;
+        else if (std::strncmp(argv[i], "status_interval=", 16) == 0)
+            cc.base.statusEverySeconds =
+                std::strtod(argv[i] + 16, nullptr);
+        else if (std::strncmp(argv[i], "profile=", 8) == 0)
+            cc.base.profileEnabled =
+                std::strtoul(argv[i] + 8, nullptr, 10) != 0;
         else {
             std::cout << "unknown arg: " << argv[i] << "\n";
             return 2;

@@ -16,6 +16,9 @@ Each directory under tests/analyze_fixtures/ is a miniature repository
   transitive  violation three calls below root    -> exit 1
   badallow    CRNET_ALLOW with empty reason and
               with an unknown rule                -> exit 1
+  telemetry_clock
+              an allowed clock shim next to a raw
+              clock read: only the raw read trips -> exit 1
 
 The assertions pin the exit status AND the report lines (rule, file,
 and the call chain for the propagating rules), so a regression in
@@ -59,6 +62,14 @@ CASES = [
         "has no reason string",
         "allow-missing-reason: CRNET_ALLOW with unknown rule "
         "'not-a-rule' on helper",
+    ]),
+    # The telemetry pattern: an annotated clock shim does not blanket
+    # its file — a raw chrono read beside it must still be reported
+    # (and only it: the shim itself stays clean).
+    ("telemetry_clock", 1, [
+        "src/telemetry_clock.cc:28: wallclock: steady_clock "
+        "[chain: rawStamp]",
+        " 1 violation(s)",
     ]),
 ]
 

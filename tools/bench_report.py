@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
-"""Measure the cycle engine and emit BENCH_pr8.json.
+"""Measure the cycle engine and emit BENCH_pr9.json.
 
-Every crnet bench ends with a machine-parseable footer:
+Every crnet bench ends with machine-parseable footers:
 
   timing: runs=N wall_s=S sims_per_s=R flit_events=E \
       flit_events_per_s=F jobs=J cores=C
+  profile: enabled=1 runs=N warmup_s=... measure_s=... drain_s=... \
+      tick_deliver_s=... tick_routers_s=... quiet_cycles=...
+
+The `profile:` footer is the self-profiler's per-phase wall-time
+attribution (docs/OBSERVABILITY.md); it is parsed into a `profile`
+dict on every leg so phase-level trends ride along with the headline
+throughput numbers.
 
 This script runs a selection of benches four ways per bench —
 
@@ -23,14 +30,17 @@ are interpretable.
 
 With --baseline the report's headline throughput (active_jobs1, the
 default configuration) is compared against an earlier report —
-v1 (BENCH_pr3.json), v2 (BENCH_pr5.json) or v3 — and the script
-fails if any bench present in both regressed by more than
---max-regression.
+v1 (BENCH_pr3.json), v2 (BENCH_pr5.json), v3 (BENCH_pr8.json) or v4 —
+and the script fails if any bench present in both regressed by more
+than --max-regression. Phase-level comparisons (per-phase seconds per
+flit event vs a v4 baseline) are advisory: they print warnings but
+never fail the run, and a baseline from before the profiler existed
+simply skips them.
 
 Usage:
   tools/bench_report.py [--build-dir build] [--jobs N]
-                        [--out BENCH_pr8.json] [--quick]
-                        [--baseline BENCH_pr5.json]
+                        [--out BENCH_pr9.json] [--quick]
+                        [--baseline BENCH_pr8.json]
                         [--max-regression 0.15]
 
 The default bench set covers a mid-load sweep, the dynamic-fault
@@ -46,7 +56,7 @@ import re
 import subprocess
 import sys
 
-SCHEMA = "crnet-bench-report-v3"
+SCHEMA = "crnet-bench-report-v4"
 
 # (bench binary, extra args). The overrides shrink simulated spans so
 # report generation stays cheap; all runs of one bench use identical
@@ -63,15 +73,22 @@ QUICK_ARGS = {
 }
 
 FOOTER_RE = re.compile(r"^timing: (.+)$", re.M)
+PROFILE_RE = re.compile(r"^profile: (.+)$", re.M)
+
+# Self-profiler phases compared against a v4 baseline (seconds keys in
+# the `profile:` footer). Advisory only — see the module docstring.
+PROFILE_PHASES = [
+    "warmup_s", "measure_s", "drain_s", "tick_deliver_s",
+    "tick_generate_s", "tick_injectors_s", "tick_routers_s",
+    "tick_receivers_s", "tick_audit_s", "tick_sample_s",
+    "tick_quiet_s",
+]
 
 
-def parse_footer(output):
-    """Return the parsed key=value dict of the last timing footer."""
-    matches = FOOTER_RE.findall(output)
-    if not matches:
-        return None
+def parse_kv(line):
+    """Parse one `key=value key=value ...` footer line into a dict."""
     fields = {}
-    for token in matches[-1].split():
+    for token in line.split():
         key, _, value = token.partition("=")
         try:
             fields[key] = int(value)
@@ -83,8 +100,21 @@ def parse_footer(output):
     return fields
 
 
+def parse_footer(output):
+    """Return the parsed key=value dict of the last timing footer."""
+    matches = FOOTER_RE.findall(output)
+    if not matches:
+        return None
+    return parse_kv(matches[-1])
+
+
 def run_bench(path, args, sched, jobs):
-    """Run one bench configuration; return its parsed footer."""
+    """Run one bench configuration; return its parsed footer.
+
+    The self-profiler footer, when present, is attached under the
+    "profile" key (absent on binaries from before the profiler — the
+    report degrades gracefully rather than failing).
+    """
     cmd = [path] + args + [f"sched={sched}", f"jobs={jobs}"]
     print(f"  $ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -95,7 +125,61 @@ def run_bench(path, args, sched, jobs):
     footer = parse_footer(proc.stdout)
     if footer is None:
         raise SystemExit(f"{path}: no 'timing:' footer in output")
+    profiles = PROFILE_RE.findall(proc.stdout)
+    if profiles:
+        footer["profile"] = parse_kv(profiles[-1])
     return footer
+
+
+def print_profile_breakdown(footer):
+    """Print the self-profiler's per-phase share of bench wall time."""
+    prof = footer.get("profile")
+    if not prof or not prof.get("enabled"):
+        return
+    tick_keys = [k for k in PROFILE_PHASES if k.startswith("tick_")]
+    total = sum(prof.get(k) or 0.0 for k in tick_keys)
+    if total <= 0.0:
+        return
+    shares = sorted(((prof.get(k) or 0.0, k) for k in tick_keys),
+                    reverse=True)
+    top = ", ".join(f"{k[len('tick_'):-2]} {100.0 * s / total:.0f}%"
+                    for s, k in shares[:4] if s > 0.0)
+    print(f"  profile: {top}", file=sys.stderr)
+
+
+def compare_profiles(name, footer, baseline_leg, tolerance):
+    """Advisory per-phase comparison against a v4 baseline leg.
+
+    Compares each phase's seconds per flit event; prints a warning for
+    phases that slowed by more than `tolerance` but never fails the
+    run. Silently skips when either side predates the profiler.
+    """
+    prof = footer.get("profile")
+    base_prof = (baseline_leg or {}).get("profile")
+    if not prof or not base_prof:
+        if prof and baseline_leg is not None:
+            print("  profile vs baseline: (baseline has no profile "
+                  "data; skipping phase comparison)", file=sys.stderr)
+        return
+    events = footer.get("flit_events") or 0
+    base_events = baseline_leg.get("flit_events") or 0
+    if not events or not base_events:
+        return
+    for key in PROFILE_PHASES:
+        now_s = prof.get(key)
+        base_s = base_prof.get(key)
+        if not isinstance(now_s, (int, float)) or \
+                not isinstance(base_s, (int, float)) or base_s <= 0.0:
+            continue
+        now_per = now_s / events
+        base_per = base_s / base_events
+        # Sub-millisecond phases are all noise; don't warn on them.
+        if now_s < 0.05 and base_s < 0.05:
+            continue
+        if now_per > base_per * (1.0 + tolerance):
+            print(f"  WARNING: {name} phase {key} slowed "
+                  f"{now_per / base_per:.2f}x vs baseline "
+                  "(advisory only)", file=sys.stderr)
 
 
 def baseline_fps(baseline, name):
@@ -122,11 +206,11 @@ def main():
     ap.add_argument("--jobs", type=int,
                     default=min(8, os.cpu_count() or 1),
                     help="parallel job count to compare against jobs=1")
-    ap.add_argument("--out", default="BENCH_pr8.json")
+    ap.add_argument("--out", default="BENCH_pr9.json")
     ap.add_argument("--quick", action="store_true",
                     help="shrink simulated spans for a fast report")
     ap.add_argument("--baseline",
-                    help="prior report (v1/v2/v3) to compare against")
+                    help="prior report (v1-v4) to compare against")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="max tolerated headline throughput loss "
                          "vs --baseline (fraction, default 0.15)")
@@ -186,6 +270,7 @@ def main():
               f"{sched_speedup:.2f}x", file=sys.stderr)
         print(f"  skip-ahead speedup (event/active): "
               f"{event_speedup:.2f}x", file=sys.stderr)
+        print_profile_breakdown(active1)
         if activeN is not None:
             par_speedup = (active1["wall_s"] / activeN["wall_s"]
                            if activeN["wall_s"] > 0 else 0.0)
@@ -207,6 +292,10 @@ def main():
             else:
                 print("  vs baseline: (not in baseline)",
                       file=sys.stderr)
+            base_bench = baseline.get("benches", {}).get(name) or {}
+            compare_profiles(name, active1,
+                             base_bench.get("active_jobs1"),
+                             opts.max_regression)
 
     with open(opts.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)

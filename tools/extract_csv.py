@@ -6,11 +6,19 @@ reading, once as CSV after a `csv:` marker. This script walks the
 combined output of the whole suite and writes each CSV block to
   <outdir>/<bench>__<nn>.csv
 so the numbers can be plotted or diffed without re-running anything.
+Single-line key=value footers (`warmstart:`, `profile:`) become
+one-row CSVs the same way.
+
+Given a live-status JSON file instead (the `status=` config key;
+schema crnet-status-v1, docs/OBSERVABILITY.md), the recent-units
+trial table inside it is written to <outdir>/<stem>__status.csv.
 
 Usage:
   tools/extract_csv.py bench_output.txt [outdir]   (default: bench_csv/)
+  tools/extract_csv.py status.json [outdir]
 """
 
+import json
 import os
 import re
 import sys
@@ -69,11 +77,37 @@ def kv_csv(rows):
     return "\n".join(out) + "\n"
 
 
+def status_csv(src, outdir):
+    """Write a crnet-status-v1 file's trial table as one CSV file."""
+    with open(src, encoding="utf-8") as f:
+        status = json.load(f)
+    schema = status.get("schema", "")
+    if schema != "crnet-status-v1":
+        sys.exit(f"{src}: unrecognized status schema {schema!r} "
+                 "(expected crnet-status-v1)")
+    os.makedirs(outdir, exist_ok=True)
+    units = status.get("recent_units", [])
+    keys = ["unit", "seed", "ok", "deadlocked", "quarantined",
+            "accepted", "delivered", "cycles"]
+    stem = re.sub(r"[^A-Za-z0-9_.-]", "_",
+                  os.path.splitext(os.path.basename(src))[0])
+    path = os.path.join(outdir, f"{stem}__status.csv")
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(",".join(keys) + "\n")
+        for u in units:
+            out.write(",".join(str(u.get(k, "")) for k in keys) + "\n")
+    print(f"wrote 1 CSV file to {outdir}/ "
+          f"({len(units)} trial rows from {src})")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
     src = sys.argv[1]
     outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    if src.endswith(".json"):
+        status_csv(src, outdir)
+        return
     with open(src, encoding="utf-8", errors="replace") as f:
         text = f.read()
 
@@ -113,6 +147,15 @@ def main():
             path = os.path.join(outdir, f"{safe}__warmstart.csv")
             with open(path, "w", encoding="utf-8") as out:
                 out.write(kv_csv(warm))
+            written += 1
+        # Self-profiler footers (`profile: warmup_s=... ...`) — one
+        # row per footer so the per-phase wall-time attribution can be
+        # tracked alongside the results (docs/OBSERVABILITY.md).
+        prof = list(kv_lines(body, "profile:"))
+        if prof:
+            path = os.path.join(outdir, f"{safe}__profile.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                out.write(kv_csv(prof))
             written += 1
     print(f"wrote {written} CSV files to {outdir}/")
 
