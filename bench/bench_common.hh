@@ -11,6 +11,8 @@
 #ifndef CRNET_BENCH_BENCH_COMMON_HH
 #define CRNET_BENCH_BENCH_COMMON_HH
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -115,6 +117,7 @@ struct SuiteTotals
     double wallSeconds = 0.0;      //!< Engine wall-clock (batch spans).
     std::uint64_t flitEvents = 0;  //!< Total data-flit events.
     unsigned jobs = 1;             //!< Worker threads last used.
+    unsigned shards = 1;           //!< Intra-run shards last used.
     ProfileData profile;           //!< Merged self-profiles.
 };
 
@@ -178,6 +181,8 @@ sweep(const std::vector<SimConfig>& points)
     }
     suiteTotals().jobs =
         resolveJobs(points.empty() ? 0 : points.front().jobs);
+    suiteTotals().shards =
+        resolveShards(points.empty() ? 0 : points.front().shards);
     record(points.size(), wall, flit_events);
     return out;
 }
@@ -194,6 +199,16 @@ runOne(const SimConfig& cfg)
  * `csv:` block scanner stops at it). tools/bench_report.py collects
  * these into BENCH_pr3.json to track the perf trajectory.
  */
+/** Process peak resident set in kB (getrusage; 0 when unavailable). */
+inline long
+peakRssKb()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss;  // Linux reports kilobytes.
+}
+
 inline void
 timingFooter()
 {
@@ -201,12 +216,12 @@ timingFooter()
     const double wall = t.wallSeconds > 0.0 ? t.wallSeconds : 1e-9;
     std::printf("timing: runs=%zu wall_s=%.3f sims_per_s=%.2f "
                 "flit_events=%llu flit_events_per_s=%.3e jobs=%u "
-                "cores=%u\n",
+                "shards=%u cores=%u peak_rss_kb=%ld\n",
                 t.runs, t.wallSeconds,
                 static_cast<double>(t.runs) / wall,
                 static_cast<unsigned long long>(t.flitEvents),
                 static_cast<double>(t.flitEvents) / wall, t.jobs,
-                hardwareJobs());
+                t.shards, hardwareJobs(), peakRssKb());
     // Self-profiler footer (same one-line no-comma contract as
     // `timing:`). Always printed — CI asserts its presence — with
     // enabled=0 and zeros when the bench ran with profile=0.

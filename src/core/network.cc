@@ -1,15 +1,18 @@
 #include "src/core/network.hh"
 
 #include <algorithm>
+#include <array>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "src/core/timeseries.hh"
 #include "src/fault/campaign.hh"
 #include "src/sim/log.hh"
 #include "src/sim/snapshot.hh"
 #include "src/sim/trace.hh"
+#include "src/sim/walltime.hh"
 
 namespace crnet {
 
@@ -25,6 +28,90 @@ static_assert((kIdleProbePeriod & (kIdleProbePeriod - 1)) == 0 &&
               "kIdleProbePeriod must be a power of two: the probe "
               "boundary test masks with (kIdleProbePeriod - 1) "
               "instead of taking a modulus");
+
+/**
+ * Every Counter field of the stats block, as member-pointer tables,
+ * so the per-shard fold (and the restore-time reset) walks them
+ * without hand-maintaining two copies of the list. Accumulators and
+ * the histogram are deliberately absent: shard blocks never receive
+ * order-sensitive adds (see NetworkStats shardStats_ doc).
+ */
+constexpr std::array<Counter RouterStats::*, 13> kRouterCounters = {
+    &RouterStats::flitsForwarded,
+    &RouterStats::headersRouted,
+    &RouterStats::escapeAllocations,
+    &RouterStats::misrouteHops,
+    &RouterStats::killsForwarded,
+    &RouterStats::killsAnnihilated,
+    &RouterStats::pathWideKills,
+    &RouterStats::bkillHops,
+    &RouterStats::flitsPurged,
+    &RouterStats::stragglersDropped,
+    &RouterStats::staleKills,
+    &RouterStats::lateCreditsDropped,
+    &RouterStats::linkDeathTeardowns,
+};
+
+constexpr std::array<Counter NetworkStats::*, 28> kNetworkCounters = {
+    &NetworkStats::messagesGenerated,
+    &NetworkStats::messagesMeasured,
+    &NetworkStats::sourceQueueDrops,
+    &NetworkStats::flitsInjected,
+    &NetworkStats::padFlitsInjected,
+    &NetworkStats::sourceKills,
+    &NetworkStats::abortedByBkill,
+    &NetworkStats::messagesCommitted,
+    &NetworkStats::messagesFailed,
+    &NetworkStats::measuredFailed,
+    &NetworkStats::messagesDelivered,
+    &NetworkStats::measuredDelivered,
+    &NetworkStats::corruptedDeliveries,
+    &NetworkStats::orderViolations,
+    &NetworkStats::duplicateDeliveries,
+    &NetworkStats::refusals,
+    &NetworkStats::staleAttemptFlits,
+    &NetworkStats::flitsConsumed,
+    &NetworkStats::padFlitsConsumed,
+    &NetworkStats::measuredPayloadFlits,
+    &NetworkStats::faultEventsApplied,
+    &NetworkStats::flitsLostOnDeadLinks,
+    &NetworkStats::killsAbsorbedAtDeadLinks,
+    &NetworkStats::controlAbsorbedAtDeadLinks,
+    &NetworkStats::receiverTimeouts,
+    &NetworkStats::assembliesFinalized,
+    &NetworkStats::assembliesDiscarded,
+    &NetworkStats::retryDuplicatesSuppressed,
+};
+
+/** Fold every Counter of `from` into `into` and zero `from`. */
+void
+foldCounters(NetworkStats& into, NetworkStats& from)
+{
+    for (const auto field : kRouterCounters) {
+        Counter& f = from.router.*field;
+        if (f.value() != 0) {
+            (into.router.*field).inc(f.value());
+            f.reset();
+        }
+    }
+    for (const auto field : kNetworkCounters) {
+        Counter& f = from.*field;
+        if (f.value() != 0) {
+            (into.*field).inc(f.value());
+            f.reset();
+        }
+    }
+}
+
+/** Zero every Counter of a shard block (snapshot restore). */
+void
+resetCounters(NetworkStats& blk)
+{
+    for (const auto field : kRouterCounters)
+        (blk.router.*field).reset();
+    for (const auto field : kNetworkCounters)
+        (blk.*field).reset();
+}
 
 } // namespace
 
@@ -74,17 +161,55 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
                                                     root.fork());
 
     const NodeId n = topo_->numNodes();
+
+    // Sharding setup. The shard count is an execution knob: ranges
+    // are contiguous and the component construction below (and with
+    // it the RNG fork order) is identical for every value.
+    shards_ = std::min<unsigned>(resolveShards(cfg_.shards),
+                                 static_cast<unsigned>(n));
+    shards_ = std::max(shards_, 1u);
+    shardCtx_.resize(shards_);
+    {
+        const NodeId per = n / shards_;
+        const NodeId extra = n % shards_;
+        NodeId at = 0;
+        for (unsigned s = 0; s < shards_; ++s) {
+            shardCtx_[s].begin = at;
+            at += per + (s < extra ? 1 : 0);
+            shardCtx_[s].end = at;
+        }
+    }
+    if (shards_ > 1) {
+        shardStats_.reserve(shards_);
+        for (unsigned s = 0; s < shards_; ++s)
+            shardStats_.push_back(std::make_unique<NetworkStats>());
+    }
+
+    routerPool_ = std::make_unique<Router::StatePool>(cfg_, n);
     routers_.reserve(n);
     injectors_.reserve(n);
     receivers_.reserve(n);
+    unsigned shard = 0;
     for (NodeId id = 0; id < n; ++id) {
+        if (id >= shardCtx_[shard].end)
+            ++shard;
+        // Counters accumulate in the owning shard's block (folded
+        // into stats_ every sweep); with one shard that block IS
+        // stats_ and the deferred-stats outboxes stay disabled.
+        NetworkStats* blk =
+            shards_ > 1 ? shardStats_[shard].get() : &stats_;
         routers_.push_back(std::make_unique<Router>(
-            id, cfg_, *routing_, &stats_.router, root.fork()));
+            id, cfg_, *routing_, &blk->router, root.fork(),
+            *routerPool_, id));
         injectors_.push_back(std::make_unique<Injector>(
-            id, cfg_, *topo_, *routing_, &stats_, root.fork()));
+            id, cfg_, *topo_, *routing_, blk, root.fork()));
         injectors_.back()->setFailureSink(this);
         receivers_.push_back(std::make_unique<Receiver>(
-            id, cfg_, n, &stats_, this));
+            id, cfg_, blk, this));
+        if (shards_ > 1) {
+            injectors_.back()->setDeferStats(true);
+            receivers_.back()->setDeferStats(true);
+        }
     }
 
     // Pre-size the hot-path containers so the steady state never
@@ -117,6 +242,24 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
     // Everything starts asleep: at cycle 0 every component is idle,
     // and generate()/sendMessage()/deliver() wake whoever gets work.
 
+    if (shards_ > 1) {
+        shardPool_ = std::make_unique<ThreadPool>(shards_);
+        Telemetry& reg = Telemetry::instance();
+        shardBarrierNanos_ =
+            reg.counter("sched.shard_barrier_wait_nanos");
+        shardTickGauges_.reserve(shards_);
+        for (unsigned s = 0; s < shards_; ++s) {
+            shardTickGauges_.push_back(reg.gauge(
+                "sched.shard_ticks." + std::to_string(s)));
+            ShardCtx& ctx = shardCtx_[s];
+            const std::size_t range = ctx.end - ctx.begin;
+            ctx.injWork.reserve(range);
+            ctx.rtrWork.reserve(range);
+            ctx.rcvWork.reserve(range);
+            ctx.audit.kills.reserve(16);
+        }
+    }
+
     // The schedule fork happens last and only when configured, so
     // fault-free runs keep exactly the RNG streams they had before
     // dynamic faults existed.
@@ -147,6 +290,11 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg)
             routers_[id]->setTracer(trace_.get());
             injectors_[id]->setTracer(trace_.get());
             receivers_[id]->setTracer(trace_.get());
+        }
+        for (ShardCtx& ctx : shardCtx_) {
+            ctx.injTrace.reserve(64);
+            ctx.rtrTrace.reserve(64);
+            ctx.rcvTrace.reserve(64);
         }
     }
     if (cfg_.sampleInterval > 0)
@@ -638,6 +786,270 @@ Network::sweepActive()
         prof_->add(TickPhase::Receivers, TickProfiler::stamp() - pt);
 }
 
+// --- Sharded sweeps ----------------------------------------------------
+//
+// Determinism argument (docs/PERFORMANCE.md has the long form): the
+// parallel phase runs only component ticks, whose cross-component
+// effects are all staged — wave pushes through per-component outboxes
+// (collected serially afterwards), sink/ledger callbacks and Welford
+// accumulator adds through the deferred-stats outboxes, trace records
+// through per-shard staging buffers, audit conservation deltas through
+// per-thread stages. Counters are commutative and land in per-shard
+// blocks. Every order-sensitive replay below iterates shard-major over
+// contiguous ascending ranges, i.e. in global node order — exactly the
+// serial sweep's order — so stats, traces, wave contents, heap layouts
+// and snapshots are byte-identical to shards=1.
+
+void
+Network::shardWorker(unsigned s, bool from_work_lists)
+{
+    ShardCtx& ctx = shardCtx_[s];
+    Auditor::setThreadStage(&ctx.audit);
+    const bool tracing = trace_ != nullptr;
+    if (tracing)
+        Tracer::setThreadStage(&ctx.injTrace);
+    std::uint64_t ticked = 0;
+    if (from_work_lists) {
+        for (const NodeId id : ctx.injWork)
+            injectors_[id]->tick(now_);
+        if (tracing)
+            Tracer::setThreadStage(&ctx.rtrTrace);
+        for (const NodeId id : ctx.rtrWork)
+            routers_[id]->tick(now_);
+        if (tracing)
+            Tracer::setThreadStage(&ctx.rcvTrace);
+        for (const NodeId id : ctx.rcvWork)
+            receivers_[id]->tick(now_);
+        ticked = ctx.injWork.size() + ctx.rtrWork.size() +
+                 ctx.rcvWork.size();
+    } else {
+        for (NodeId id = ctx.begin; id < ctx.end; ++id)
+            injectors_[id]->tick(now_);
+        if (tracing)
+            Tracer::setThreadStage(&ctx.rtrTrace);
+        for (NodeId id = ctx.begin; id < ctx.end; ++id)
+            routers_[id]->tick(now_);
+        if (tracing)
+            Tracer::setThreadStage(&ctx.rcvTrace);
+        for (NodeId id = ctx.begin; id < ctx.end; ++id)
+            receivers_[id]->tick(now_);
+        ticked = static_cast<std::uint64_t>(ctx.end - ctx.begin) * 3;
+    }
+    ctx.ticks += ticked;
+    if (tracing)
+        Tracer::setThreadStage(nullptr);
+    Auditor::setThreadStage(nullptr);
+}
+
+void
+Network::runShardBarrier(bool from_work_lists)
+{
+    for (unsigned s = 0; s < shards_; ++s) {
+        shardPool_->submit([this, s, from_work_lists] {
+            shardWorker(s, from_work_lists);
+        });
+    }
+    const std::uint64_t w0 = WallTimer::nanos();
+    shardPool_->wait();
+    shardBarrierNanos_->fetch_add(WallTimer::nanos() - w0,
+                                  std::memory_order_relaxed);
+    // The barrier provides the happens-before for reading the
+    // workers' tick totals.
+    for (unsigned s = 0; s < shards_; ++s) {
+        shardTickGauges_[s]->store(shardCtx_[s].ticks,
+                                   std::memory_order_relaxed);
+    }
+}
+
+void
+Network::drainShardSidecars()
+{
+#if CRNET_AUDIT_ENABLED
+    if (audit_ != nullptr) {
+        // Conservation counters and the kill-token set are order-
+        // insensitive (issuedKills_ serializes sorted).
+        for (ShardCtx& ctx : shardCtx_)
+            audit_->foldStage(ctx.audit);
+    }
+#endif
+    if (trace_ == nullptr)
+        return;
+    // Phase-major, shard-minor = the serial recording order. The
+    // replay re-enters record() with no stage installed, so the watch
+    // filter (whose pair-adoption mutates watchedMsgs_) runs in
+    // deterministic order; Tracer::now_ is constant through the cycle,
+    // so the re-recorded timestamps match the staged ones.
+    const auto replay = [this](std::vector<TraceEvent>& staged) {
+        for (const TraceEvent& e : staged)
+            trace_->record(e.kind, e.msg, e.node, e.src, e.dst,
+                           e.attempt, e.arg);
+        staged.clear();
+    };
+    for (ShardCtx& ctx : shardCtx_)
+        replay(ctx.injTrace);
+    for (ShardCtx& ctx : shardCtx_)
+        replay(ctx.rtrTrace);
+    for (ShardCtx& ctx : shardCtx_)
+        replay(ctx.rcvTrace);
+}
+
+void
+Network::foldShardCounters()
+{
+    for (auto& blk : shardStats_)
+        foldCounters(stats_, *blk);
+}
+
+void
+Network::drainInjectorOutboxes(Injector& inj)
+{
+    // Within one injector tick every give-up precedes every commit
+    // (retry/timeout processing runs before injectFlits), so draining
+    // the failure outbox first reproduces the serial callback order.
+    for (const FailedMessage& f : inj.failed)
+        onMessageFailed(f.msg, f.at);
+    for (const CommittedSample& c : inj.committedStats) {
+        stats_.attempts.add(c.attempts);
+        stats_.padOverhead.add(c.padFrac);
+    }
+}
+
+void
+Network::drainReceiverOutboxes(Receiver& rcv)
+{
+    for (const DeliveredMessage& d : rcv.deliveries) {
+        // Exactly commitDelivery()'s direct-mode tail, per delivery:
+        // accumulator adds, then the sink callback.
+        if (d.measured) {
+            const auto total =
+                static_cast<double>(d.deliveredAt - d.createdAt);
+            stats_.totalLatency.add(total);
+            stats_.latencyHist.add(total);
+            stats_.netLatency.add(static_cast<double>(
+                d.deliveredAt - d.headInjectedAt));
+        }
+        onDelivered(d);
+    }
+}
+
+void
+Network::sweepAllSharded()
+{
+    std::uint64_t pt = profTimed_ ? TickProfiler::stamp() : 0;
+    runShardBarrier(false);
+    drainShardSidecars();
+    if (profTimed_) {
+        // The fused parallel section (plus sidecar replay) is
+        // attributed to the router phase; the serial per-phase
+        // finish loops time themselves below.
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
+    const NodeId n = topo_->numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        drainInjectorOutboxes(*injectors_[id]);
+        collectInjector(id);
+    }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Injectors, t - pt);
+        pt = t;
+    }
+    for (NodeId id = 0; id < n; ++id)
+        collectRouter(id);
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        drainReceiverOutboxes(*receivers_[id]);
+        collectReceiver(id);
+    }
+    foldShardCounters();
+    if (profTimed_)
+        prof_->add(TickPhase::Receivers, TickProfiler::stamp() - pt);
+}
+
+void
+Network::sweepActiveSharded()
+{
+    std::uint64_t pt = profTimed_ ? TickProfiler::stamp() : 0;
+    // Serial flag scan, node order: exactly sweepActive()'s clearing
+    // discipline — injector/receiver flags cleared up front (a tick's
+    // only wake is its own re-registration, applied in the finish
+    // loops below), router flags left set until the idle probe.
+    const NodeId n = topo_->numNodes();
+    unsigned s = 0;
+    for (ShardCtx& ctx : shardCtx_) {
+        ctx.injWork.clear();
+        ctx.rtrWork.clear();
+        ctx.rcvWork.clear();
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        while (id >= shardCtx_[s].end)
+            ++s;
+        ShardCtx& ctx = shardCtx_[s];
+        if (injAwake_[id] != 0) {
+            injAwake_[id] = 0;
+            --injAwakeN_;
+            ctx.injWork.push_back(id);
+        }
+        if (rtrAwake_[id] != 0)
+            ctx.rtrWork.push_back(id);
+        if (rcvAwake_[id] != 0) {
+            rcvAwake_[id] = 0;
+            --rcvAwakeN_;
+            ctx.rcvWork.push_back(id);
+        }
+    }
+    runShardBarrier(true);
+    drainShardSidecars();
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
+    for (const ShardCtx& ctx : shardCtx_) {
+        for (const NodeId id : ctx.injWork) {
+            drainInjectorOutboxes(*injectors_[id]);
+            collectInjector(id);
+            scheduleInjector(id, injectors_[id]->nextEventCycle(now_));
+        }
+    }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Injectors, t - pt);
+        pt = t;
+    }
+    const bool probe = (now_ & (kIdleProbePeriod - 1)) == 0;
+    for (const ShardCtx& ctx : shardCtx_) {
+        for (const NodeId id : ctx.rtrWork) {
+            collectRouter(id);
+            if (probe && routers_[id]->idle()) {
+                rtrAwake_[id] = 0;
+                --rtrAwakeN_;
+            }
+        }
+    }
+    if (profTimed_) {
+        const std::uint64_t t = TickProfiler::stamp();
+        prof_->add(TickPhase::Routers, t - pt);
+        pt = t;
+    }
+    for (const ShardCtx& ctx : shardCtx_) {
+        for (const NodeId id : ctx.rcvWork) {
+            drainReceiverOutboxes(*receivers_[id]);
+            collectReceiver(id);
+            scheduleReceiver(id, receivers_[id]->nextEventCycle(now_));
+        }
+    }
+    foldShardCounters();
+    if (profTimed_)
+        prof_->add(TickPhase::Receivers, TickProfiler::stamp() - pt);
+}
+
 void
 Network::tick()
 {
@@ -671,9 +1083,9 @@ Network::tick()
     }
 
     if (activeSched_)
-        sweepActive();
+        shards_ > 1 ? sweepActiveSharded() : sweepActive();
     else
-        sweepAll();
+        shards_ > 1 ? sweepAllSharded() : sweepAll();
 
     const std::uint64_t level = activityLevel();
     if (level != lastActivityLevel_) {
@@ -1378,6 +1790,13 @@ CRNET_ALLOW("unordered-iter",
 void
 Network::saveState(StateWriter& w) const
 {
+    // Shard Counter blocks are zero between ticks except when a
+    // between-tick writer (injectFaultEvent's link teardown) bumped a
+    // router counter; fold them now so the serialized master block —
+    // and with it the snapshot bytes — matches an unsharded run.
+    // Logically const: counts move between blocks that serialize as
+    // one.
+    const_cast<Network*>(this)->foldShardCounters();
     saveNetworkStats(w, stats_);
     faults_->saveState(w);
     generator_->saveState(w);
@@ -1526,6 +1945,10 @@ void
 Network::loadState(StateReader& r)
 {
     loadNetworkStats(r, stats_);
+    // The snapshot's master block is the whole truth: any counts
+    // still sitting in shard blocks belong to the abandoned timeline.
+    for (auto& blk : shardStats_)
+        resetCounters(*blk);
     faults_->loadState(r);
     generator_->loadState(r);
     const NodeId n = topo_->numNodes();

@@ -32,7 +32,9 @@
 #include "src/router/router.hh"
 #include "src/routing/routing.hh"
 #include "src/sim/config.hh"
+#include "src/sim/parallel.hh"
 #include "src/sim/rng.hh"
+#include "src/sim/trace.hh"
 #include "src/topology/topology.hh"
 #include "src/traffic/generator.hh"
 
@@ -317,6 +319,61 @@ class Network : public DeliverySink, public MessageFailureSink
     /** Tick this cycle's woken components, then re-register them. */
     void sweepActive();
 
+    // --- Intra-run sharding (see docs/PERFORMANCE.md) --------------
+    //
+    // When shards > 1 the node array is cut into contiguous ranges,
+    // one ThreadPool worker per range, and the compute phase of every
+    // cycle (injector/router/receiver ticks) runs in parallel with
+    // exactly one barrier per cycle. The >= 1-cycle channel latency
+    // is the synchronization slack: all cross-component traffic is
+    // staged through the wave buckets and delivered serially at the
+    // top of the next cycle, so component ticks within one cycle are
+    // mutually independent. Everything order-sensitive — wave pushes,
+    // deadline-heap pushes, Welford accumulator adds, ledger/sink
+    // callbacks, trace records — is staged per shard during the
+    // parallel phase and replayed serially in node order afterwards,
+    // which keeps every result byte-identical to shards=1.
+
+    /** sweepAll(), sharded: whole node ranges per worker. */
+    void sweepAllSharded();
+
+    /** sweepActive(), sharded: scanned work lists per worker. */
+    CRNET_ALLOW("alloc",
+                "work-list appends land in capacity reserved to the "
+                "shard's full range size at construction, so the "
+                "steady state never grows them")
+    void sweepActiveSharded();
+
+    /**
+     * One worker's compute phase: tick this shard's injector, router
+     * and receiver slices (in that phase order, each in node order)
+     * with the tracer/auditor staging areas installed.
+     */
+    CRNET_HOT_PATH CRNET_RESULT_AFFECTING
+    void shardWorker(unsigned s, bool from_work_lists);
+
+    /** Submit all shard workers and block on the cycle barrier. */
+    CRNET_ALLOW("alloc",
+                "per-cycle task submission: `shards` small type-"
+                "erased closures per barrier, amortized across the "
+                "whole node array's worth of parallel tick work")
+    CRNET_ALLOW("wallclock",
+                "barrier-wait telemetry counter: observability only, "
+                "never feeds back into simulation state")
+    void runShardBarrier(bool from_work_lists);
+
+    /** Fold audit stages, replay staged trace events (serial). */
+    void drainShardSidecars();
+
+    /** Fold per-shard Counter blocks into the master stats block. */
+    void foldShardCounters();
+
+    /** Deferred injector failures + measured-commit samples. */
+    void drainInjectorOutboxes(Injector& inj);
+
+    /** Deferred receiver accumulator adds + delivery callbacks. */
+    void drainReceiverOutboxes(Receiver& rcv);
+
     /** Queue a component for this cycle's sweep (idempotent). */
     void wakeInjector(NodeId id);
     void wakeRouter(NodeId id);
@@ -412,6 +469,31 @@ class Network : public DeliverySink, public MessageFailureSink
     std::unique_ptr<RoutingAlgorithm> routing_;
     NetworkStats stats_;
     std::unique_ptr<TrafficGenerator> generator_;
+
+    /**
+     * Sharding degree (resolveShards(cfg.shards), clamped to the
+     * node count). An execution knob like `jobs`: excluded from the
+     * config fingerprint, and every result is byte-identical across
+     * values.
+     */
+    unsigned shards_ = 1;
+    /**
+     * Structure-of-arrays backing store for every router's mutable
+     * hot state (flit slots, VC books, arbitration pointers), indexed
+     * by node id. Declared before routers_, which hold raw pointers
+     * into it.
+     */
+    std::unique_ptr<Router::StatePool> routerPool_;
+    /**
+     * Per-shard Counter accumulation blocks (shards > 1 only).
+     * Components of shard s write their Counter fields here, race-
+     * free, and foldShardCounters() folds them into stats_ at the end
+     * of every sweep. Accumulators/histograms in these blocks are
+     * never written: order-sensitive adds are deferred through the
+     * component outboxes instead (see setDeferStats).
+     */
+    std::vector<std::unique_ptr<NetworkStats>> shardStats_;
+
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Injector>> injectors_;
     std::vector<std::unique_ptr<Receiver>> receivers_;
@@ -450,6 +532,29 @@ class Network : public DeliverySink, public MessageFailureSink
      */
     std::uint32_t injAwakeN_ = 0, rtrAwakeN_ = 0, rcvAwakeN_ = 0;
     Cycle quietCyclesSkipped_ = 0;
+
+    /** Per-shard worker context: node range, work lists, staging. */
+    struct ShardCtx
+    {
+        NodeId begin = 0;  //!< First node of this shard's range.
+        NodeId end = 0;    //!< One past the last node.
+        // This cycle's awake node ids (active scheduler), ascending;
+        // ranges are contiguous, so shard-major iteration over these
+        // is global node order.
+        std::vector<NodeId> injWork, rtrWork, rcvWork;
+        // Staged trace tuples, one buffer per phase so the replay can
+        // run phase-major / shard-minor (= the serial record order).
+        std::vector<TraceEvent> injTrace, rtrTrace, rcvTrace;
+        Auditor::ShardStage audit;
+        std::uint64_t ticks = 0;  //!< Cumulative component ticks.
+    };
+    std::vector<ShardCtx> shardCtx_;
+    /** Cycle-barrier worker pool (shards_ > 1 only). */
+    std::unique_ptr<ThreadPool> shardPool_;
+    // Registry handles (registered at construction; updates are
+    // relaxed atomic stores, hot-path safe).
+    std::atomic<std::uint64_t>* shardBarrierNanos_ = nullptr;
+    std::vector<std::atomic<std::uint64_t>*> shardTickGauges_;
 
     // --- Telemetry (off the results path; see telemetry.hh) --------
     TickProfiler* prof_ = nullptr;

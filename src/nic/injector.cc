@@ -152,8 +152,12 @@ Injector::requeueForRetry(PendingMessage msg, Cycle now)
                            node_, msg.dst, msg.attempt);
         }
         busyDests_.erase(msg.dst);
-        if (failureSink_ != nullptr)
-            failureSink_->onMessageFailed(msg, now);
+        if (failureSink_ != nullptr) {
+            if (deferStats_)
+                failed.push_back(FailedMessage{msg, now});
+            else
+                failureSink_->onMessageFailed(msg, now);
+        }
         return;
     }
     msg.notBefore = now + retransmissionGap(cfg_, kills, rng_);
@@ -395,11 +399,18 @@ Injector::injectFlits(Cycle now)
                                        s.msg.dst, s.msg.attempt);
                     }
                     if (s.msg.measured) {
-                        stats_->attempts.add(s.msg.attempt + 1);
-                        stats_->padOverhead.add(
+                        const double att = s.msg.attempt + 1;
+                        const double pad =
                             static_cast<double>(s.wireLen -
                                                 s.msg.payloadLen - 1) /
-                            s.wireLen);
+                            s.wireLen;
+                        if (deferStats_) {
+                            committedStats.push_back(
+                                CommittedSample{att, pad});
+                        } else {
+                            stats_->attempts.add(att);
+                            stats_->padOverhead.add(pad);
+                        }
                     }
                     busyDests_.erase(s.msg.dst);
                     s.state = Slot::State::Free;
@@ -432,6 +443,8 @@ void
 Injector::tick(Cycle now)
 {
     sent.clear();
+    failed.clear();
+    committedStats.clear();
     std::fill(channelUsed_.begin(), channelUsed_.end(), false);
 
     // Finish processing aborts accepted during delivery.
@@ -600,6 +613,8 @@ Injector::loadState(StateReader& r)
         vc = r.u16();
     loadRng(r, rng_);
     sent.clear();
+    failed.clear();
+    committedStats.clear();
 }
 
 } // namespace crnet

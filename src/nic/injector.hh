@@ -55,6 +55,20 @@ struct InjectedFlit
     Flit flit;
 };
 
+/** A give-up staged for the failure sink (deferred-stats mode). */
+struct FailedMessage
+{
+    PendingMessage msg;
+    Cycle at = 0;
+};
+
+/** Measured-commit accumulator samples staged (deferred-stats mode). */
+struct CommittedSample
+{
+    double attempts = 0.0;  //!< Attempts the commit took (>= 1).
+    double padFrac = 0.0;   //!< Pad flits / wire length.
+};
+
 /**
  * Observer of messages the source gives up on (maxRetries exhausted).
  * The delivery ledger uses this to account every refused message.
@@ -105,6 +119,24 @@ class Injector
 
     /** Flits entering injection channels this cycle. */
     std::vector<InjectedFlit> sent;
+
+    // --- Deferred-stats mode (sharded ticks) --------------------------
+
+    /**
+     * When on, tick() never touches shared accumulators or calls the
+     * failure sink directly: measured-commit samples and give-ups are
+     * staged in the outboxes below instead, and the Network drains
+     * them serially in node order after the shard barrier — so the
+     * global Welford/ledger update sequence is byte-identical to an
+     * unsharded run. Off (the default), behavior is unchanged.
+     */
+    void setDeferStats(bool on) { deferStats_ = on; }
+
+    /** Give-ups staged this tick (valid after tick; drained by owner). */
+    std::vector<FailedMessage> failed;
+
+    /** Measured commits staged this tick (same lifecycle as `failed`). */
+    std::vector<CommittedSample> committedStats;
 
     // --- Introspection ---------------------------------------------------
 
@@ -225,6 +257,7 @@ class Injector
     Auditor* audit_ = nullptr;
     Tracer* trace_ = nullptr;
     MessageFailureSink* failureSink_ = nullptr;
+    bool deferStats_ = false;
     Rng rng_;
 
     std::deque<PendingMessage> queue_;

@@ -9,14 +9,15 @@
 
 namespace crnet {
 
-Receiver::Receiver(NodeId node, const SimConfig& cfg, NodeId num_nodes,
+Receiver::Receiver(NodeId node, const SimConfig& cfg,
                    NetworkStats* stats, DeliverySink* sink)
     : node_(node), cfg_(cfg), stats_(stats), sink_(sink),
-      rrVc_(cfg.ejectionChannels, 0),
-      lastSeq_(num_nodes, -1)
+      rrVc_(cfg.ejectionChannels, 0)
 {
     if (stats == nullptr)
         panic("Receiver requires a NetworkStats block");
+    if (cfg.numNodes() <= kDenseSeqNodeLimit)
+        lastSeqDense_.assign(cfg.numNodes(), -1);
     // Far beyond any stall the source timeout resolves on its own
     // (timeout scales with VC sharing, plus kill/retry round trips).
     const Cycle legit = 16 * (cfg.timeout + 1) * cfg.numVcs;
@@ -209,14 +210,19 @@ Receiver::commitDelivery(const DeliveredMessage& d)
     if (d.measured) {
         stats_->measuredDelivered.inc();
         stats_->measuredPayloadFlits.inc(d.payloadLen);
-        const auto total =
-            static_cast<double>(d.deliveredAt - d.createdAt);
-        stats_->totalLatency.add(total);
-        stats_->latencyHist.add(total);
-        stats_->netLatency.add(
-            static_cast<double>(d.deliveredAt - d.headInjectedAt));
+        if (!deferStats_) {
+            const auto total =
+                static_cast<double>(d.deliveredAt - d.createdAt);
+            stats_->totalLatency.add(total);
+            stats_->latencyHist.add(total);
+            stats_->netLatency.add(
+                static_cast<double>(d.deliveredAt -
+                                    d.headInjectedAt));
+        }
     }
-    if (sink_ != nullptr)
+    if (deferStats_)
+        deliveries.push_back(d);
+    else if (sink_ != nullptr)
         sink_->onDelivered(d);
 }
 
@@ -381,7 +387,10 @@ Receiver::checkDeliveryOrder(NodeId src, std::uint32_t pair_seq)
         stats_->duplicateDeliveries.inc();
         return;
     }
-    std::int64_t& last = lastSeq_[src];
+    std::int64_t& last =
+        !lastSeqDense_.empty()
+            ? lastSeqDense_[src]
+            : lastSeqSparse_.try_emplace(src, -1).first->second;
     if (static_cast<std::int64_t>(pair_seq) < last)
         stats_->orderViolations.inc();
     else
@@ -413,6 +422,7 @@ Receiver::tick(Cycle now)
 {
     credits.clear();
     bkills.clear();
+    deliveries.clear();
     if (dynamicFaults_) {
         resolveAllTerminated(now);
         if (now % kStarvationCheckPeriod == 0)
@@ -499,9 +509,9 @@ Receiver::nextEventCycle(Cycle now) const
 }
 
 CRNET_ALLOW("unordered-iter",
-            "assembly map and seen-set are sorted before "
-            "serialization so the snapshot bytes never depend on "
-            "hash order")
+            "assembly map, seen-set and last-seq table are sorted "
+            "before serialization so the snapshot bytes never depend "
+            "on hash order")
 void
 Receiver::saveState(StateWriter& w) const
 {
@@ -539,9 +549,23 @@ Receiver::saveState(StateWriter& w) const
         w.b(a.terminated);
     }
 
-    w.u64(lastSeq_.size());
-    for (std::int64_t seq : lastSeq_)
+    // Same bytes from either storage mode: sorted, and only sources
+    // that delivered something (the dense vector's -1 entries are the
+    // sparse map's absent keys).
+    std::vector<std::pair<NodeId, std::int64_t>> seqs;
+    if (!lastSeqDense_.empty()) {
+        for (NodeId src = 0; src < lastSeqDense_.size(); ++src)
+            if (lastSeqDense_[src] != -1)
+                seqs.emplace_back(src, lastSeqDense_[src]);
+    } else {
+        seqs.assign(lastSeqSparse_.begin(), lastSeqSparse_.end());
+        std::sort(seqs.begin(), seqs.end());
+    }
+    w.u64(seqs.size());
+    for (const auto& [src, seq] : seqs) {
+        w.u32(src);
         w.i64(seq);
+    }
     std::vector<std::uint64_t> seen(seenSeq_.begin(), seenSeq_.end());
     std::sort(seen.begin(), seen.end());
     w.u64(seen.size());
@@ -589,12 +613,18 @@ Receiver::loadState(StateReader& r)
         assemblies_.emplace(id, a);
     }
 
+    if (!lastSeqDense_.empty())
+        std::fill(lastSeqDense_.begin(), lastSeqDense_.end(), -1);
+    lastSeqSparse_.clear();
     const std::uint64_t numSeq = r.u64();
-    if (numSeq != lastSeq_.size())
-        panic("lastSeq table size mismatch on restore: saved ",
-              numSeq, ", have ", lastSeq_.size());
-    for (auto& seq : lastSeq_)
-        seq = r.i64();
+    for (std::uint64_t i = 0; i < numSeq; ++i) {
+        const NodeId src = r.u32();
+        const std::int64_t seq = r.i64();
+        if (!lastSeqDense_.empty())
+            lastSeqDense_[src] = seq;
+        else
+            lastSeqSparse_.emplace(src, seq);
+    }
     seenSeq_.clear();
     const std::uint64_t numSeen = r.u64();
     for (std::uint64_t i = 0; i < numSeen; ++i)
@@ -603,6 +633,7 @@ Receiver::loadState(StateReader& r)
     dynamicFaults_ = r.b();
     credits.clear();
     bkills.clear();
+    deliveries.clear();
 }
 
 } // namespace crnet

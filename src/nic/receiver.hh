@@ -93,8 +93,8 @@ struct ReceiverCredit
 class Receiver
 {
   public:
-    Receiver(NodeId node, const SimConfig& cfg, NodeId num_nodes,
-             NetworkStats* stats, DeliverySink* sink);
+    Receiver(NodeId node, const SimConfig& cfg, NetworkStats* stats,
+             DeliverySink* sink);
 
     // --- Delivery phase ----------------------------------------------
 
@@ -116,6 +116,21 @@ class Receiver
      * cycle (starvation timeouts; dynamic-fault mode only).
      */
     std::vector<ReceiverCredit> bkills;
+
+    // --- Deferred-stats mode (sharded ticks) --------------------------
+
+    /**
+     * When on, tick() never touches the shared latency accumulators
+     * or calls the delivery sink directly: every completed message is
+     * staged in `deliveries` instead, and the Network drains it
+     * serially in node order after the shard barrier — so the global
+     * Welford/histogram/ledger update sequence is byte-identical to
+     * an unsharded run. Off (the default), behavior is unchanged.
+     */
+    void setDeferStats(bool on) { deferStats_ = on; }
+
+    /** Deliveries staged this tick (valid after tick; drained by owner). */
+    std::vector<DeliveredMessage> deliveries;
 
     // --- Introspection ---------------------------------------------------
 
@@ -220,6 +235,10 @@ class Receiver
     const VcBuffer& vcBuf(std::uint32_t ch, VcId vc) const;
     void consume(std::uint32_t ch, VcId vc, Cycle now);
     void deliver(const Flit& tail, const Assembly& a, Cycle now);
+    CRNET_ALLOW("alloc",
+                "deliveries-outbox reuse in deferred mode: amortized "
+                "growth only, steady-state-free "
+                "(tests/test_alloc_steady.cc)")
     void commitDelivery(const DeliveredMessage& d);
     CRNET_ALLOW("alloc",
                 "per-delivery exactly-once bookkeeping: one seen-set "
@@ -250,6 +269,7 @@ class Receiver
     DeliverySink* sink_;
     Auditor* audit_ = nullptr;
     Tracer* trace_ = nullptr;
+    bool deferStats_ = false;
 
     std::vector<VcBuffer> bufs_;  //!< [channel][vc] flattened.
     std::vector<VcId> rrVc_;      //!< Consumption RR per channel.
@@ -261,7 +281,20 @@ class Receiver
      * seen-set distinguishes the two (a plain expected-counter cannot
      * tell a late arrival from a true duplicate).
      */
-    std::vector<std::int64_t> lastSeq_;  //!< Per source, -1 initially.
+    /**
+     * Per-source last-delivered-sequence table, adaptive by network
+     * size. Small networks (<= kDenseSeqNodeLimit nodes, which covers
+     * every paper-scale configuration) use the dense vector — one
+     * branch-free indexed load per delivery, -1 meaning nothing
+     * delivered yet. Above the limit the dense form is O(nodes^2) per
+     * network (34 GB on a 64k-node torus), so giant networks fall
+     * back to a sparse map holding only the sources that actually
+     * reached this node. Both forms serialize identically (sorted,
+     * non-empty entries only).
+     */
+    static constexpr NodeId kDenseSeqNodeLimit = 512;
+    std::vector<std::int64_t> lastSeqDense_;
+    std::unordered_map<NodeId, std::int64_t> lastSeqSparse_;
     std::unordered_set<std::uint64_t> seenSeq_;  //!< (src<<32)|seq.
     std::uint64_t delivered_ = 0;
 

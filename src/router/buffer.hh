@@ -4,6 +4,15 @@
  *
  * A plain ring buffer: wormhole simulation enqueues/dequeues millions of
  * flits, so this avoids per-flit allocation entirely.
+ *
+ * Two storage modes share the same queue logic:
+ *   - *Owning* (the historical mode): the buffer allocates its own
+ *     slot vector. Standalone components (tests, the receiver's
+ *     ejection VCs) use this.
+ *   - *Bound*: the buffer indexes a caller-owned slot slice via
+ *     `bind()`. The router structure-of-arrays pool packs every VC
+ *     buffer of every node into one contiguous flit array so the
+ *     sharded hot path walks cache-dense state (docs/PERFORMANCE.md).
  */
 
 #ifndef CRNET_ROUTER_BUFFER_HH
@@ -21,18 +30,40 @@ namespace crnet {
 class FlitBuffer
 {
   public:
+    /** Unbound buffer: capacity 0 until `bind()` attaches storage. */
+    FlitBuffer() = default;
+
     /** @param capacity Maximum number of buffered flits (> 0). */
     explicit FlitBuffer(std::size_t capacity)
-        : slots_(capacity)
+        : owned_(capacity), cap_(capacity)
     {
         if (capacity == 0)
             panic("FlitBuffer capacity must be > 0");
     }
 
-    std::size_t capacity() const { return slots_.size(); }
+    /**
+     * Attach caller-owned slot storage (`cap` > 0 flits). The slice
+     * must outlive the buffer; any owned storage is released. Only
+     * valid on an empty buffer.
+     */
+    void
+    bind(Flit* slots, std::size_t cap)
+    {
+        if (!slots || cap == 0)
+            panic("FlitBuffer::bind needs storage with capacity > 0");
+        if (count_ != 0)
+            panic("FlitBuffer::bind on a non-empty buffer");
+        owned_.clear();
+        owned_.shrink_to_fit();
+        bound_ = slots;
+        cap_ = cap;
+        head_ = 0;
+    }
+
+    std::size_t capacity() const { return cap_; }
     std::size_t size() const { return count_; }
     bool empty() const { return count_ == 0; }
-    bool full() const { return count_ == slots_.size(); }
+    bool full() const { return count_ == cap_; }
 
     /** Enqueue at the back; panics when full (flow control bug). */
     void
@@ -41,7 +72,7 @@ class FlitBuffer
         if (full())
             panic("FlitBuffer overflow (msg ", flit.msg, ", seq ",
                   flit.seq, ")");
-        slots_[(head_ + count_) % slots_.size()] = flit;
+        slots()[(head_ + count_) % cap_] = flit;
         ++count_;
     }
 
@@ -51,7 +82,7 @@ class FlitBuffer
     {
         if (empty())
             panic("FlitBuffer::front on empty buffer");
-        return slots_[head_];
+        return slots()[head_];
     }
 
     /** Mutable access to the oldest flit (header state updates). */
@@ -60,7 +91,7 @@ class FlitBuffer
     {
         if (empty())
             panic("FlitBuffer::frontMutable on empty buffer");
-        return slots_[head_];
+        return slots()[head_];
     }
 
     /** Remove and return the oldest flit. */
@@ -69,8 +100,8 @@ class FlitBuffer
     {
         if (empty())
             panic("FlitBuffer::pop on empty buffer");
-        Flit f = slots_[head_];
-        head_ = (head_ + 1) % slots_.size();
+        Flit f = slots()[head_];
+        head_ = (head_ + 1) % cap_;
         --count_;
         return f;
     }
@@ -84,7 +115,7 @@ class FlitBuffer
     {
         if (i >= count_)
             panic("FlitBuffer::peek(", i, ") with ", count_, " buffered");
-        return slots_[(head_ + i) % slots_.size()];
+        return slots()[(head_ + i) % cap_];
     }
 
     /** Drop all contents (kill-token purge); returns dropped count. */
@@ -98,7 +129,12 @@ class FlitBuffer
     }
 
   private:
-    std::vector<Flit> slots_;
+    Flit* slots() { return bound_ ? bound_ : owned_.data(); }
+    const Flit* slots() const { return bound_ ? bound_ : owned_.data(); }
+
+    std::vector<Flit> owned_;
+    Flit* bound_ = nullptr;      //!< Pool-owned slice when bound.
+    std::size_t cap_ = 0;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
 };

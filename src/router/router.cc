@@ -9,6 +9,46 @@
 
 namespace crnet {
 
+Router::StatePool::StatePool(const SimConfig& cfg,
+                             std::uint64_t nodes)
+    : nodes_(nodes),
+      inPorts_(static_cast<PortId>(2 * cfg.dimensionsN +
+                                   cfg.injectionChannels)),
+      outPorts_(static_cast<PortId>(2 * cfg.dimensionsN +
+                                    cfg.ejectionChannels)),
+      vcs_(cfg.numVcs),
+      depth_(cfg.bufferDepth)
+{
+    if (nodes == 0)
+        panic("StatePool needs at least one node");
+    const std::size_t inVcs =
+        static_cast<std::size_t>(nodes) * inPorts_ * vcs_;
+    const std::size_t outVcs =
+        static_cast<std::size_t>(nodes) * outPorts_ * vcs_;
+    // Size everything once; the arrays must never reallocate because
+    // routers hold raw base pointers into them.
+    flitSlots_.resize(inVcs * depth_);
+    inputs_.resize(inVcs);
+    outputs_.resize(outVcs);
+    rrInVc_.assign(static_cast<std::size_t>(nodes) * inPorts_, 0);
+    rrOutIn_.assign(static_cast<std::size_t>(nodes) * outPorts_, 0);
+    outPortBusy_.assign(static_cast<std::size_t>(nodes) * outPorts_,
+                        0);
+    for (std::size_t i = 0; i < inVcs; ++i)
+        inputs_[i].buf.bind(&flitSlots_[i * depth_], depth_);
+}
+
+std::size_t
+Router::StatePool::bytes() const
+{
+    return flitSlots_.capacity() * sizeof(Flit) +
+           inputs_.capacity() * sizeof(InputVc) +
+           outputs_.capacity() * sizeof(OutputVc) +
+           rrInVc_.capacity() * sizeof(VcId) +
+           rrOutIn_.capacity() * sizeof(PortId) +
+           outPortBusy_.capacity() * sizeof(std::uint8_t);
+}
+
 Router::Router(NodeId id, const SimConfig& cfg,
                const RoutingAlgorithm& algo, RouterStats* stats,
                Rng rng)
@@ -18,38 +58,58 @@ Router::Router(NodeId id, const SimConfig& cfg,
                                       cfg.injectionChannels)),
       numOutPorts_(static_cast<PortId>(networkPorts_ +
                                        cfg.ejectionChannels)),
+      numVcs_(cfg.numVcs),
+      selfPool_(std::make_unique<StatePool>(cfg, 1))
+{
+    attach(*selfPool_, 0);
+}
+
+Router::Router(NodeId id, const SimConfig& cfg,
+               const RoutingAlgorithm& algo, RouterStats* stats,
+               Rng rng, StatePool& pool, std::uint64_t poolIndex)
+    : id_(id), cfg_(cfg), algo_(algo), stats_(stats), rng_(rng),
+      networkPorts_(static_cast<PortId>(2 * cfg.dimensionsN)),
+      numInPorts_(static_cast<PortId>(networkPorts_ +
+                                      cfg.injectionChannels)),
+      numOutPorts_(static_cast<PortId>(networkPorts_ +
+                                       cfg.ejectionChannels)),
       numVcs_(cfg.numVcs)
 {
-    if (stats == nullptr)
+    attach(pool, poolIndex);
+}
+
+void
+Router::attach(StatePool& pool, std::uint64_t index)
+{
+    if (stats_ == nullptr)
         panic("Router requires a shared RouterStats block");
+    if (index >= pool.nodes_ || pool.inPorts_ != numInPorts_ ||
+        pool.outPorts_ != numOutPorts_ || pool.vcs_ != numVcs_ ||
+        pool.depth_ != cfg_.bufferDepth) {
+        panic("StatePool geometry mismatch for router ", id_,
+              " (pool index ", index, " of ", pool.nodes_, ")");
+    }
 
-    inputs_.reserve(static_cast<std::size_t>(numInPorts_) * numVcs_);
-    for (std::size_t i = 0;
-         i < static_cast<std::size_t>(numInPorts_) * numVcs_; ++i)
-        inputs_.emplace_back(cfg.bufferDepth);
+    inputs_ = &pool.inputs_[index * numInVcs()];
+    outputs_ = &pool.outputs_[index * numOutVcs()];
+    rrInVc_ = &pool.rrInVc_[index * numInPorts_];
+    rrOutIn_ = &pool.rrOutIn_[index * numOutPorts_];
+    outPortBusy_ = &pool.outPortBusy_[index * numOutPorts_];
 
-    outputs_.resize(static_cast<std::size_t>(numOutPorts_) * numVcs_);
     for (PortId p = 0; p < numOutPorts_; ++p) {
         for (VcId v = 0; v < numVcs_; ++v) {
             OutputVc& o = ovc(p, v);
-            o.credits = cfg.bufferDepth;
+            o.credits = cfg_.bufferDepth;
             o.ejection = p >= ejBase();
         }
     }
 
-    rrInVc_.assign(numInPorts_, 0);
-    rrOutIn_.assign(numOutPorts_, 0);
-    outPortBusy_.assign(numOutPorts_, false);
-
     byOut_.resize(numOutPorts_);
     for (auto& reqs : byOut_)
-        reqs.reserve(static_cast<std::size_t>(numInPorts_) * numVcs_);
-    scratch_.reserve(static_cast<std::size_t>(numOutPorts_) * numVcs_);
-    const std::size_t lanes =
-        static_cast<std::size_t>(numOutPorts_) * numVcs_;
-    sentFlits.reserve(lanes);
-    sentCredits.reserve(static_cast<std::size_t>(numInPorts_) *
-                        numVcs_);
+        reqs.reserve(numInVcs());
+    scratch_.reserve(numOutVcs());
+    sentFlits.reserve(numOutVcs());
+    sentCredits.reserve(numInVcs());
     sentBkills.reserve(8);
     sentAborts.reserve(8);
     pendingBkillsAsOut_.reserve(8);
@@ -249,7 +309,7 @@ Router::forwardKills()
             const PortId o = in.killOutPort;
             if (outPortBusy_[o])
                 continue;  // Another kill claimed the channel; wait.
-            outPortBusy_[o] = true;
+            outPortBusy_[o] = 1;
             sentFlits.push_back(SentFlit{o, in.killOutVc, in.killFlit});
             stats_->killsForwarded.inc();
             if (trace_ != nullptr) {
@@ -584,9 +644,11 @@ Router::tick(Cycle now)
     sentCredits.clear();
     sentBkills.clear();
     sentAborts.clear();
-    std::fill(outPortBusy_.begin(), outPortBusy_.end(), false);
-    for (auto& in : inputs_)
-        in.movedThisCycle = false;
+    std::fill(outPortBusy_, outPortBusy_ + numOutPorts_,
+              std::uint8_t{0});
+    const std::size_t nin = numInVcs();
+    for (std::size_t i = 0; i < nin; ++i)
+        inputs_[i].movedThisCycle = false;
 
     processBkills();
     forwardKills();
@@ -648,7 +710,9 @@ Router::accumulateHeat()
 bool
 Router::idle() const
 {
-    for (const auto& in : inputs_) {
+    const std::size_t nin = numInVcs();
+    for (std::size_t i = 0; i < nin; ++i) {
+        const InputVc& in = inputs_[i];
         if (in.state != InputVc::State::Idle || !in.buf.empty() ||
             in.killPending) {
             return false;
@@ -661,8 +725,9 @@ std::uint64_t
 Router::bufferedFlits() const
 {
     std::uint64_t n = 0;
-    for (const auto& in : inputs_)
-        n += in.buf.size();
+    const std::size_t nin = numInVcs();
+    for (std::size_t i = 0; i < nin; ++i)
+        n += inputs_[i].buf.size();
     return n;
 }
 
@@ -715,10 +780,12 @@ Router::outputProbe(PortId out_port, VcId vc) const
 void
 Router::saveState(StateWriter& w) const
 {
-    for (const InputVc& in : inputs_) {
+    const std::size_t nin = numInVcs();
+    for (std::size_t i = 0; i < nin; ++i) {
+        const InputVc& in = inputs_[i];
         w.u64(in.buf.size());
-        for (std::size_t i = 0; i < in.buf.size(); ++i)
-            saveFlit(w, in.buf.peek(i));
+        for (std::size_t f = 0; f < in.buf.size(); ++f)
+            saveFlit(w, in.buf.peek(f));
         w.u8(static_cast<std::uint8_t>(in.state));
         w.u64(in.msg);
         w.u16(in.attempt);
@@ -734,7 +801,9 @@ Router::saveState(StateWriter& w) const
         w.u16(in.killOutVc);
         w.u64(in.purgeMsg);
     }
-    for (const OutputVc& out : outputs_) {
+    const std::size_t nout = numOutVcs();
+    for (std::size_t i = 0; i < nout; ++i) {
+        const OutputVc& out = outputs_[i];
         w.b(out.allocated);
         w.u16(out.holderPort);
         w.u16(out.holderVc);
@@ -747,10 +816,10 @@ Router::saveState(StateWriter& w) const
         w.u16(bk.inPort);
         w.u16(bk.vc);
     }
-    for (VcId vc : rrInVc_)
-        w.u16(vc);
-    for (PortId port : rrOutIn_)
-        w.u16(port);
+    for (PortId p = 0; p < numInPorts_; ++p)
+        w.u16(rrInVc_[p]);
+    for (PortId p = 0; p < numOutPorts_; ++p)
+        w.u16(rrOutIn_[p]);
     w.b(heatTracking_);
     if (heatTracking_) {
         for (std::uint64_t v : heatForwarded_)
@@ -766,7 +835,9 @@ Router::saveState(StateWriter& w) const
 void
 Router::loadState(StateReader& r)
 {
-    for (InputVc& in : inputs_) {
+    const std::size_t nin = numInVcs();
+    for (std::size_t idx = 0; idx < nin; ++idx) {
+        InputVc& in = inputs_[idx];
         in.buf.purge();
         const std::uint64_t buffered = r.u64();
         for (std::uint64_t i = 0; i < buffered; ++i) {
@@ -789,7 +860,9 @@ Router::loadState(StateReader& r)
         in.killOutVc = r.u16();
         in.purgeMsg = r.u64();
     }
-    for (OutputVc& out : outputs_) {
+    const std::size_t nout = numOutVcs();
+    for (std::size_t idx = 0; idx < nout; ++idx) {
+        OutputVc& out = outputs_[idx];
         out.allocated = r.b();
         out.holderPort = r.u16();
         out.holderVc = r.u16();
@@ -805,10 +878,10 @@ Router::loadState(StateReader& r)
         bk.vc = r.u16();
         pendingBkillsAsOut_.push_back(bk);
     }
-    for (VcId& vc : rrInVc_)
-        vc = r.u16();
-    for (PortId& port : rrOutIn_)
-        port = r.u16();
+    for (PortId p = 0; p < numInPorts_; ++p)
+        rrInVc_[p] = r.u16();
+    for (PortId p = 0; p < numOutPorts_; ++p)
+        rrOutIn_[p] = r.u16();
     const bool heat = r.b();
     if (heat != heatTracking_)
         panic("heat-tracking mismatch on restore (saved ", heat,

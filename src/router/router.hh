@@ -16,6 +16,16 @@
  * injection channels from the local NIC. Output ports [0, 2n) are
  * network links, [2n, 2n+E) are ejection channels to the local NIC.
  *
+ * Storage layout: all mutable per-VC state (flit slots, input/output
+ * VC state machines, round-robin pointers, port-busy scratch) lives
+ * in a `Router::StatePool` — per-field arrays spanning every router
+ * of one network, indexed by node id. Each Router instance holds raw
+ * base pointers into its pool slice, so the hot path is unchanged
+ * while a shard worker ticking a contiguous node range walks
+ * cache-dense memory (docs/PERFORMANCE.md). A Router constructed
+ * without an external pool owns a private single-node pool, keeping
+ * standalone use (unit tests) source-compatible.
+ *
  * Kill machinery (the CR-specific part):
  *  - A forward Kill token arriving at an input VC purges the worm's
  *    buffered flits. If the worm had an output allocated, the token is
@@ -35,6 +45,7 @@
 #define CRNET_ROUTER_ROUTER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/annotations.hh"
@@ -106,8 +117,90 @@ struct SentAbort
 /** One wormhole router. */
 class Router
 {
+  private:
+    /** Per-input-VC state machine. */
+    struct InputVc
+    {
+        enum class State { Idle, Routing, Active };
+
+        FlitBuffer buf;                 //!< Bound to pool flit slots.
+        State state = State::Idle;
+        MsgId msg = kInvalidMsg;
+        std::uint16_t attempt = 0;      //!< Attempt of current worm.
+        PortId outPort = kInvalidPort;  //!< Allocation when Active.
+        VcId outVc = kInvalidVc;
+        Cycle stallCycles = 0;          //!< For the path-wide scheme.
+        Cycle headArrivedAt = 0;        //!< Header accept (forensics).
+        bool movedThisCycle = false;    //!< Progress flag (stall calc).
+        bool blockTraced = false;       //!< Block event emitted for
+                                        //!< the current stall episode.
+        bool killPending = false;       //!< Kill token to forward.
+        Flit killFlit;                  //!< The stored token.
+        PortId killOutPort = kInvalidPort;
+        VcId killOutVc = kInvalidVc;
+        MsgId purgeMsg = kInvalidMsg;   //!< Drop stragglers of this.
+    };
+
+    /** Per-output-VC bookkeeping. */
+    struct OutputVc
+    {
+        bool allocated = false;
+        PortId holderPort = kInvalidPort;
+        VcId holderVc = kInvalidVc;
+        std::uint32_t credits = 0;
+        bool ejection = false;  //!< Finite receiver-buffer credits.
+        /**
+         * Not allocatable before this cycle: after a kill resets the
+         * credit count, one in-flight credit may still arrive a cycle
+         * later; quarantining the VC keeps the ledger exact.
+         */
+        Cycle quarantineUntil = 0;
+    };
+
   public:
     /**
+     * Structure-of-arrays backing store for every router of one
+     * network: flit slots, input/output VC state, round-robin
+     * pointers and port-busy scratch live in contiguous per-field
+     * arrays indexed by node id. A shard worker ticking a contiguous
+     * node range therefore walks adjacent cache lines instead of
+     * pointer-chasing per-router heaps, and the flat flit array
+     * leaves the switch-allocation inner loops SIMD-ready.
+     */
+    class StatePool
+    {
+      public:
+        /** Size arrays for `nodes` routers under `cfg` geometry. */
+        StatePool(const SimConfig& cfg, std::uint64_t nodes);
+
+        StatePool(const StatePool&) = delete;
+        StatePool& operator=(const StatePool&) = delete;
+
+        std::uint64_t nodes() const { return nodes_; }
+
+        /** Bytes held by the pool arrays (capacity accounting). */
+        std::size_t bytes() const;
+
+      private:
+        friend class Router;
+
+        std::uint64_t nodes_;
+        PortId inPorts_;
+        PortId outPorts_;
+        std::uint32_t vcs_;
+        std::size_t depth_;
+
+        std::vector<Flit> flitSlots_;   //!< [node][inPort][vc][depth].
+        std::vector<InputVc> inputs_;   //!< [node][inPort][vc].
+        std::vector<OutputVc> outputs_; //!< [node][outPort][vc].
+        std::vector<VcId> rrInVc_;      //!< [node][inPort].
+        std::vector<PortId> rrOutIn_;   //!< [node][outPort].
+        std::vector<std::uint8_t> outPortBusy_;  //!< [node][outPort].
+    };
+
+    /**
+     * Standalone router owning a private single-node StatePool.
+     *
      * @param id     Node this router serves.
      * @param cfg    Simulation configuration.
      * @param algo   Routing relation (shared across routers).
@@ -116,6 +209,15 @@ class Router
      */
     Router(NodeId id, const SimConfig& cfg,
            const RoutingAlgorithm& algo, RouterStats* stats, Rng rng);
+
+    /**
+     * Pool-backed router: mutable VC state lives in `pool` at slice
+     * `poolIndex`. The pool must outlive the router and its arrays
+     * must never reallocate (they are sized once at construction).
+     */
+    Router(NodeId id, const SimConfig& cfg,
+           const RoutingAlgorithm& algo, RouterStats* stats, Rng rng,
+           StatePool& pool, std::uint64_t poolIndex);
 
     NodeId id() const { return id_; }
     PortId numInPorts() const { return numInPorts_; }
@@ -256,7 +358,9 @@ class Router
      * input/output VC state machines, pending backward kills,
      * round-robin pointers, heat counters and the RNG stream. The
      * outboxes and per-cycle scratch (outPortBusy_, byOut_) are
-     * cleared at tick entry and need not round-trip.
+     * cleared at tick entry and need not round-trip. The byte stream
+     * is identical whether the router is standalone or pool-backed
+     * (state is walked per-router in node order either way).
      */
     void saveState(StateWriter& w) const;
     void loadState(StateReader& r);
@@ -265,47 +369,6 @@ class Router
     void setRng(const Rng& rng) { rng_ = rng; }
 
   private:
-    /** Per-input-VC state machine. */
-    struct InputVc
-    {
-        explicit InputVc(std::size_t depth) : buf(depth) {}
-
-        enum class State { Idle, Routing, Active };
-
-        FlitBuffer buf;
-        State state = State::Idle;
-        MsgId msg = kInvalidMsg;
-        std::uint16_t attempt = 0;      //!< Attempt of current worm.
-        PortId outPort = kInvalidPort;  //!< Allocation when Active.
-        VcId outVc = kInvalidVc;
-        Cycle stallCycles = 0;          //!< For the path-wide scheme.
-        Cycle headArrivedAt = 0;        //!< Header accept (forensics).
-        bool movedThisCycle = false;    //!< Progress flag (stall calc).
-        bool blockTraced = false;       //!< Block event emitted for
-                                        //!< the current stall episode.
-        bool killPending = false;       //!< Kill token to forward.
-        Flit killFlit;                  //!< The stored token.
-        PortId killOutPort = kInvalidPort;
-        VcId killOutVc = kInvalidVc;
-        MsgId purgeMsg = kInvalidMsg;   //!< Drop stragglers of this.
-    };
-
-    /** Per-output-VC bookkeeping. */
-    struct OutputVc
-    {
-        bool allocated = false;
-        PortId holderPort = kInvalidPort;
-        VcId holderVc = kInvalidVc;
-        std::uint32_t credits = 0;
-        bool ejection = false;  //!< Finite receiver-buffer credits.
-        /**
-         * Not allocatable before this cycle: after a kill resets the
-         * credit count, one in-flight credit may still arrive a cycle
-         * later; quarantining the VC keeps the ledger exact.
-         */
-        Cycle quarantineUntil = 0;
-    };
-
     /** One switch nomination: an input VC asking for its output port. */
     struct SwitchReq
     {
@@ -313,10 +376,22 @@ class Router
         VcId inVc;
     };
 
+    /** Bind the pool slice at `index` and initialize its fields. */
+    void attach(StatePool& pool, std::uint64_t index);
+
     InputVc& ivc(PortId p, VcId v);
     const InputVc& ivc(PortId p, VcId v) const;
     OutputVc& ovc(PortId p, VcId v);
     const OutputVc& ovc(PortId p, VcId v) const;
+
+    std::size_t numInVcs() const
+    {
+        return static_cast<std::size_t>(numInPorts_) * numVcs_;
+    }
+    std::size_t numOutVcs() const
+    {
+        return static_cast<std::size_t>(numOutPorts_) * numVcs_;
+    }
 
     void processBkills();
     void forwardKills();
@@ -345,18 +420,19 @@ class Router
     PortId numOutPorts_;
     std::uint32_t numVcs_;
 
-    std::vector<InputVc> inputs_;    //!< [port][vc] flattened.
-    std::vector<OutputVc> outputs_;  //!< [port][vc] flattened.
+    /** Private pool for the standalone constructor (else null). */
+    std::unique_ptr<StatePool> selfPool_;
+
+    // Base pointers into this router's StatePool slice. [port][vc]
+    // flattened, exactly like the historical per-router vectors.
+    InputVc* inputs_ = nullptr;
+    OutputVc* outputs_ = nullptr;
+    VcId* rrInVc_ = nullptr;     //!< Round-robin, per input port.
+    PortId* rrOutIn_ = nullptr;  //!< Round-robin, per output port.
+    std::uint8_t* outPortBusy_ = nullptr;  //!< Per-cycle scratch.
 
     /** Backward kills accepted last delivery, processed this tick. */
     std::vector<SentBkill> pendingBkillsAsOut_;
-
-    /** Round-robin pointers. */
-    std::vector<VcId> rrInVc_;     //!< Per input port.
-    std::vector<PortId> rrOutIn_;  //!< Per output port.
-
-    /** Output ports already used this cycle (kills, switch winners). */
-    std::vector<bool> outPortBusy_;
 
     /** Heat counters (empty unless setHeatTracking(true)). */
     bool heatTracking_ = false;

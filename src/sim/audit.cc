@@ -27,6 +27,34 @@ kindName(AuditEdgeKind k)
 
 } // namespace
 
+CRNET_ALLOW("global-state",
+            "per-thread staging pointer for the sharded tick: set and "
+            "cleared by the owning worker only, null everywhere else; "
+            "every staged delta is folded deterministically")
+thread_local Auditor::ShardStage* Auditor::tlsStage_ = nullptr;
+
+void
+Auditor::setThreadStage(ShardStage* stage)
+{
+    tlsStage_ = stage;
+}
+
+void
+Auditor::foldStage(ShardStage& stage)
+{
+    injected_ += stage.injected;
+    consumed_ += stage.consumed;
+    purged_ += stage.purged;
+    // The kill registry is a set, so insertion order is immaterial;
+    // saveState sorts before serialization anyway.
+    for (const std::uint64_t key : stage.kills)
+        issuedKills_.insert(key);
+    stage.injected = 0;
+    stage.consumed = 0;
+    stage.purged = 0;
+    stage.kills.clear();
+}
+
 Auditor::Auditor(const SimConfig& cfg, const Topology& topo)
     : cfg_(cfg), topo_(topo),
       portsPerRouter_(2 * cfg.dimensionsN + cfg.injectionChannels)
@@ -106,7 +134,10 @@ Auditor::onFlitInjected(NodeId node, const Flit& flit)
 {
     if (!flit.isData())
         return;
-    ++injected_;
+    if (tlsStage_ != nullptr)
+        ++tlsStage_->injected;
+    else
+        ++injected_;
     if (flit.createdAt > flit.headInjectedAt) {
         panic("audit: flit of msg ", flit.msg, " injected at node ",
               node, " before its message was created (created ",
@@ -277,7 +308,10 @@ Auditor::onChannelReset(NodeId node, PortId in_port, VcId vc,
 void
 Auditor::onFlitConsumed(NodeId node, const Flit& flit)
 {
-    ++consumed_;
+    if (tlsStage_ != nullptr)
+        ++tlsStage_->consumed;
+    else
+        ++consumed_;
     if (flit.headInjectedAt > now_) {
         panic("audit: msg ", flit.msg, " flit consumed at node ", node,
               " before its injection cycle ", flit.headInjectedAt,

@@ -122,6 +122,34 @@ class Auditor
     /** Called by the Network at the top of every tick. */
     void beginCycle(Cycle now) { now_ = now; }
 
+    // --- Sharded-tick staging -----------------------------------------
+
+    /**
+     * Per-thread staging area for the sharded tick: hooks fired from
+     * a shard worker accumulate their conservation deltas and issued
+     * kills here instead of the shared members, and the Network folds
+     * every stage serially after the barrier. The per-flit validity
+     * checks still run inline on the worker (they read only the flit
+     * and node-owned channel mirrors), so a violation dies at the
+     * cycle it occurs exactly as in an unsharded run.
+     */
+    struct ShardStage
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t consumed = 0;
+        std::uint64_t purged = 0;
+        std::vector<std::uint64_t> kills;  //!< killKey(msg, attempt).
+    };
+
+    /** Install (or clear, with null) this thread's staging area. */
+    static void setThreadStage(ShardStage* stage);
+
+    /** Fold one stage into the shared ledgers and reset it. */
+    CRNET_ALLOW("alloc",
+                "audit-mode kill-token registry: one node per issued "
+                "kill; compiled out of release builds (CRNET_AUDIT)")
+    void foldStage(ShardStage& stage);
+
     // --- Worm lifecycle hooks ----------------------------------------
 
     /** A worm is about to transmit: validate its padding. */
@@ -155,11 +183,22 @@ class Auditor
                 "kill; compiled out of release builds (CRNET_AUDIT)")
     void onKillIssued(MsgId msg, std::uint16_t attempt)
     {
+        if (tlsStage_ != nullptr) {
+            tlsStage_->kills.push_back(killKey(msg, attempt));
+            return;
+        }
         issuedKills_.insert(killKey(msg, attempt));
     }
 
     /** `n` buffered data flits were dropped by the kill machinery. */
-    void onFlitsPurged(std::uint64_t n) { purged_ += n; }
+    void onFlitsPurged(std::uint64_t n)
+    {
+        if (tlsStage_ != nullptr) {
+            tlsStage_->purged += n;
+            return;
+        }
+        purged_ += n;
+    }
 
     /** A receiver consumed one flit (conservation). */
     void onFlitConsumed(NodeId node, const Flit& flit);
@@ -231,6 +270,9 @@ class Auditor
 
     std::uint64_t sweeps_ = 0;
     std::uint64_t flitChecks_ = 0;
+
+    /** Per-thread staging area (null = update ledgers directly). */
+    static thread_local ShardStage* tlsStage_;
 };
 
 } // namespace crnet

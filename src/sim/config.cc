@@ -115,6 +115,8 @@ SimConfig::validate() const
         fatal("auditInterval must be >= 1");
     if (jobs > 1024)
         fatal("jobs must be in [0, 1024] (got ", jobs, ")");
+    if (shards > 1024)
+        fatal("shards must be in [0, 1024] (got ", shards, ")");
     if (statusEverySeconds < 0.0)
         fatal("statusEverySeconds must be >= 0 (got ",
               statusEverySeconds, ")");
@@ -199,6 +201,8 @@ SimConfig::set(const std::string& key, const std::string& value)
     else if (key == "profile") profileEnabled =
         parseU64(key, value) != 0;
     else if (key == "jobs") jobs =
+        static_cast<std::uint32_t>(parseU64(key, value));
+    else if (key == "shards") shards =
         static_cast<std::uint32_t>(parseU64(key, value));
     else if (key == "sched") sched = schedulerFromString(value);
     else if (key == "seed") seed = parseU64(key, value);

@@ -34,6 +34,24 @@ resolveJobs(unsigned requested)
     return std::clamp(requested, 1u, kMaxJobs);
 }
 
+unsigned
+resolveShards(unsigned requested)
+{
+    if (requested == 0) {
+        if (const char* env = std::getenv("CRNET_SHARDS")) {
+            char* end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                requested = static_cast<unsigned>(
+                    std::min<unsigned long>(v, kMaxJobs));
+            else if (*env != '\0')
+                warn("CRNET_SHARDS='", env,
+                     "' is not a positive integer; using 1 shard");
+        }
+    }
+    return std::clamp(requested, 1u, kMaxJobs);
+}
+
 ThreadPool::ThreadPool(unsigned jobs)
 {
     jobs = std::clamp(jobs, 1u, kMaxJobs);

@@ -50,6 +50,15 @@ unsigned hardwareJobs();
 unsigned resolveJobs(unsigned requested = 0);
 
 /**
+ * Resolve a requested intra-run shard count (the `shards=` config
+ * key): `requested` > 0 wins, else the CRNET_SHARDS environment
+ * variable, else 1 (unsharded). Clamped to [1, kMaxJobs]. Shard
+ * count never changes results — only how one network's node array is
+ * ticked — so like `jobs` it is an execution knob, not a model knob.
+ */
+unsigned resolveShards(unsigned requested = 0);
+
+/**
  * Fixed-size pool of worker threads draining one task queue.
  *
  * Tasks must not throw (engine code reports failure via panic/fatal,

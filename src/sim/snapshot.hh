@@ -38,7 +38,7 @@ class Network;
 struct SimConfig;
 
 /** Snapshot container format version (bump on any layout change). */
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /**
  * Append-only little-endian byte sink for snapshot payloads.

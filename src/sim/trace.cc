@@ -124,6 +124,18 @@ Tracer::wants(MsgId msg, NodeId src, NodeId dst) const
     return src != kInvalidNode && pairMatches(src, dst);
 }
 
+CRNET_ALLOW("global-state",
+            "per-thread staging pointer for the sharded tick: set and "
+            "cleared by the owning worker only, null everywhere else; "
+            "staged events are replayed in deterministic order")
+thread_local std::vector<TraceEvent>* Tracer::tlsStage_ = nullptr;
+
+void
+Tracer::setThreadStage(std::vector<TraceEvent>* stage)
+{
+    tlsStage_ = stage;
+}
+
 void
 Tracer::record(TraceEventKind kind, MsgId msg, NodeId node,
                NodeId src, NodeId dst, std::uint16_t attempt,
@@ -131,6 +143,15 @@ Tracer::record(TraceEventKind kind, MsgId msg, NodeId node,
 {
     if (!enabled_)
         return;
+    if (tlsStage_ != nullptr) {
+        // Sharded tick: stage the raw tuple; the serial replay after
+        // the barrier re-enters record() with no stage installed and
+        // applies the watch filter (whose adoption mutates shared
+        // state) in deterministic order.
+        tlsStage_->push_back(
+            TraceEvent{now_, kind, msg, node, src, dst, attempt, arg});
+        return;
+    }
     if (!watchAll_) {
         bool want = watchedMsgs_.count(msg) != 0;
         if (!want && src != kInvalidNode && pairMatches(src, dst)) {

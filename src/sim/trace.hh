@@ -114,6 +114,17 @@ class Tracer
     void beginCycle(Cycle now) { now_ = now; }
 
     /**
+     * Thread-local staging for sharded ticks. While a non-null stage
+     * is installed on the calling thread, record() appends the raw
+     * event tuple there — unfiltered, because the watch filter's
+     * pair-adoption mutates shared state — and the Network replays
+     * the staged tuples through record() serially, in deterministic
+     * shard/phase order, after the shard barrier. Pass null to
+     * restore direct recording (the default on every thread).
+     */
+    static void setThreadStage(std::vector<TraceEvent>* stage);
+
+    /**
      * Record one event, subject to the watch filter. A pair match
      * adopts the message id, so later events of the same worm that
      * carry no src/dst (kill tokens) still match.
@@ -165,6 +176,9 @@ class Tracer
     std::vector<TraceEvent> events_;
     Cycle now_ = 0;
     bool flushed_ = false;
+
+    /** Per-thread staging buffer (null = record directly). */
+    static thread_local std::vector<TraceEvent>* tlsStage_;
 };
 
 } // namespace crnet

@@ -1,5 +1,8 @@
 #include "src/traffic/generator.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/sim/log.hh"
 #include "src/sim/snapshot.hh"
 
@@ -8,14 +11,17 @@ namespace crnet {
 TrafficGenerator::TrafficGenerator(const SimConfig& cfg,
                                    const Topology& topo, Rng rng)
     : cfg_(cfg), topo_(topo), pattern_(makePattern(cfg, topo)),
-      rng_(rng),
-      pairSeq_(static_cast<std::size_t>(topo.numNodes()) *
-               topo.numNodes(), 0)
+      rng_(rng)
 {
     double mean_len = cfg.messageLength;
     if (cfg.bimodalFracB > 0.0) {
         mean_len = (1.0 - cfg.bimodalFracB) * cfg.messageLength +
                    cfg.bimodalFracB * cfg.messageLengthB;
+    }
+    if (topo.numNodes() <= kDensePairNodeLimit) {
+        pairSeqDense_.assign(static_cast<std::size_t>(topo.numNodes()) *
+                                 topo.numNodes(),
+                             0u);
     }
     perCycleProb_ = cfg.injectionRate / mean_len;
     if (perCycleProb_ > 1.0)
@@ -36,9 +42,14 @@ TrafficGenerator::drawLength()
 std::uint32_t
 TrafficGenerator::nextPairSeq(NodeId src, NodeId dst)
 {
-    const auto idx =
-        static_cast<std::size_t>(src) * topo_.numNodes() + dst;
-    return pairSeq_[idx]++;
+    if (!pairSeqDense_.empty()) {
+        return pairSeqDense_[static_cast<std::size_t>(src) *
+                                 topo_.numNodes() +
+                             dst]++;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | dst;
+    return pairSeqSparse_.try_emplace(key, 0).first->second++;
 }
 
 bool
@@ -124,14 +135,40 @@ TrafficGenerator::makeMessage(NodeId src, NodeId dst,
     return m;
 }
 
+CRNET_ALLOW("unordered-iter",
+            "pairSeq entries are sorted by key before serialization "
+            "so the snapshot bytes never depend on hash order")
 void
 TrafficGenerator::saveState(StateWriter& w) const
 {
     saveRng(w, rng_);
     w.u64(nextMsgId_);
-    w.u64(pairSeq_.size());
-    for (std::uint32_t seq : pairSeq_)
+    // Same bytes from either storage mode: sorted, and only pairs
+    // that communicated (the dense matrix's zeros are the sparse
+    // map's absent keys).
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> seqs;
+    if (!pairSeqDense_.empty()) {
+        const std::size_t n = topo_.numNodes();
+        for (std::size_t src = 0; src < n; ++src) {
+            for (std::size_t dst = 0; dst < n; ++dst) {
+                const std::uint32_t seq =
+                    pairSeqDense_[src * n + dst];
+                if (seq != 0)
+                    seqs.emplace_back((static_cast<std::uint64_t>(src)
+                                       << 32) |
+                                          dst,
+                                      seq);
+            }
+        }
+    } else {
+        seqs.assign(pairSeqSparse_.begin(), pairSeqSparse_.end());
+        std::sort(seqs.begin(), seqs.end());
+    }
+    w.u64(seqs.size());
+    for (const auto& [key, seq] : seqs) {
+        w.u64(key);
         w.u32(seq);
+    }
 }
 
 void
@@ -139,12 +176,21 @@ TrafficGenerator::loadState(StateReader& r)
 {
     loadRng(r, rng_);
     nextMsgId_ = r.u64();
+    if (!pairSeqDense_.empty())
+        std::fill(pairSeqDense_.begin(), pairSeqDense_.end(), 0u);
+    pairSeqSparse_.clear();
     const std::uint64_t n = r.u64();
-    if (n != pairSeq_.size())
-        panic("pairSeq table size mismatch on restore: saved ", n,
-              ", have ", pairSeq_.size());
-    for (auto& seq : pairSeq_)
-        seq = r.u32();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t key = r.u64();
+        const std::uint32_t seq = r.u32();
+        if (!pairSeqDense_.empty()) {
+            pairSeqDense_[static_cast<std::size_t>(key >> 32) *
+                              topo_.numNodes() +
+                          static_cast<std::uint32_t>(key)] = seq;
+        } else {
+            pairSeqSparse_.emplace(key, seq);
+        }
+    }
 }
 
 } // namespace crnet

@@ -14,8 +14,10 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "src/core/annotations.hh"
 #include "src/sim/config.hh"
 #include "src/sim/rng.hh"
 #include "src/traffic/message.hh"
@@ -104,6 +106,9 @@ class TrafficGenerator
 
   private:
     std::uint32_t drawLength();
+    CRNET_ALLOW("alloc",
+                "per-pair sequence bookkeeping: one map node the "
+                "first time a (src, dst) pair communicates, by design")
     std::uint32_t nextPairSeq(NodeId src, NodeId dst);
 
     const SimConfig& cfg_;
@@ -113,8 +118,20 @@ class TrafficGenerator
     double perCycleProb_;
     double offered_;
     MsgId nextMsgId_ = 0;
-    /** pairSeq counters, indexed src * numNodes + dst. */
-    std::vector<std::uint32_t> pairSeq_;
+    /**
+     * Per-pair sequence counters, adaptive by network size. Small
+     * networks (<= kDensePairNodeLimit nodes — every paper-scale
+     * configuration) use the dense n x n matrix: one indexed
+     * increment per generated message, at most 1 MB. Above the limit
+     * the matrix is O(nodes^2) — 17 GB on a 64k-node torus — so
+     * giant networks fall back to a sparse map keyed
+     * (src << 32) | dst holding only the pairs that actually
+     * communicated (absent = 0, never sent). Both forms serialize
+     * identically (sorted, non-zero entries only).
+     */
+    static constexpr NodeId kDensePairNodeLimit = 512;
+    std::vector<std::uint32_t> pairSeqDense_;
+    std::unordered_map<std::uint64_t, std::uint32_t> pairSeqSparse_;
 };
 
 } // namespace crnet

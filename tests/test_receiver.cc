@@ -33,7 +33,7 @@ class ReceiverTest : public ::testing::Test
     {
         stats = std::make_unique<NetworkStats>();
         sink = std::make_unique<RecordingSink>();
-        rcv = std::make_unique<Receiver>(3, cfg, 16, stats.get(),
+        rcv = std::make_unique<Receiver>(3, cfg, stats.get(),
                                          sink.get());
     }
 

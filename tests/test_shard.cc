@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Shard-equivalence suite: intra-run network sharding (SimConfig::
+ * shards) is an execution knob, so shards=K must be bit-identical to
+ * shards=1 on every observable output — run summaries, time series,
+ * heatmaps, trace files, campaign aggregates and snapshot payloads —
+ * under every scheduler. Any divergence means a shard worker raced on
+ * shared state or a serial replay ran out of node order (see
+ * docs/PERFORMANCE.md for the boundary-exchange argument).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hh"
+#include "src/core/network.hh"
+#include "src/fault/campaign.hh"
+#include "src/sim/snapshot.hh"
+#include "src/sim/trace.hh"
+
+namespace crnet {
+namespace {
+
+SimConfig
+baseCfg()
+{
+    SimConfig cfg;
+    cfg.radixK = 4;
+    cfg.dimensionsN = 2;
+    cfg.numVcs = 2;
+    cfg.routing = RoutingKind::MinimalAdaptive;
+    cfg.protocol = ProtocolKind::Cr;
+    cfg.timeout = 8;
+    cfg.injectionRate = 0.1;
+    cfg.messageLength = 8;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.drainCycles = 30000;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** Field-by-field RunResult comparison (excluding wall clock). */
+void
+expectSameResult(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.offeredLoad, b.offeredLoad);
+    EXPECT_EQ(a.acceptedThroughput, b.acceptedThroughput);
+    EXPECT_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.netLatency, b.netLatency);
+    EXPECT_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_EQ(a.maxLatency, b.maxLatency);
+    EXPECT_EQ(a.latencyStddev, b.latencyStddev);
+    EXPECT_EQ(a.avgAttempts, b.avgAttempts);
+    EXPECT_EQ(a.killsPerMessage, b.killsPerMessage);
+    EXPECT_EQ(a.padOverhead, b.padOverhead);
+    EXPECT_EQ(a.measuredMessages, b.measuredMessages);
+    EXPECT_EQ(a.deliveredMeasured, b.deliveredMeasured);
+    EXPECT_EQ(a.totalKills, b.totalKills);
+    EXPECT_EQ(a.pathWideKills, b.pathWideKills);
+    EXPECT_EQ(a.escapeAllocations, b.escapeAllocations);
+    EXPECT_EQ(a.misrouteHops, b.misrouteHops);
+    EXPECT_EQ(a.corruptions, b.corruptions);
+    EXPECT_EQ(a.corruptedDeliveries, b.corruptedDeliveries);
+    EXPECT_EQ(a.orderViolations, b.orderViolations);
+    EXPECT_EQ(a.duplicateDeliveries, b.duplicateDeliveries);
+    EXPECT_EQ(a.refusals, b.refusals);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_EQ(a.cyclesRun, b.cyclesRun);
+    EXPECT_EQ(a.latencyOverflow, b.latencyOverflow);
+    EXPECT_EQ(a.flitEvents, b.flitEvents);
+    EXPECT_EQ(a.timeseries, b.timeseries);
+    ASSERT_EQ(a.heatmap != nullptr, b.heatmap != nullptr);
+    if (a.heatmap != nullptr) {
+        EXPECT_EQ(a.heatmap->occupancyIntegral,
+                  b.heatmap->occupancyIntegral);
+        EXPECT_EQ(a.heatmap->blockedCycles, b.heatmap->blockedCycles);
+        EXPECT_EQ(a.heatmap->forwarded, b.heatmap->forwarded);
+    }
+}
+
+/** Run `cfg` at shards 1, 2 and 4; require identical results. */
+void
+expectShardsAgree(SimConfig cfg)
+{
+    cfg.shards = 1;
+    const RunResult one = runExperiment(cfg);
+    cfg.shards = 2;
+    const RunResult two = runExperiment(cfg);
+    cfg.shards = 4;
+    const RunResult four = runExperiment(cfg);
+    expectSameResult(two, one);
+    expectSameResult(four, one);
+    // A run that moved no flits proves nothing.
+    EXPECT_GT(one.flitEvents, 0u);
+}
+
+TEST(Shard, ShardsMatchUnshardedActive)
+{
+    SimConfig cfg = baseCfg();
+    cfg.sched = SchedulerKind::Active;
+    cfg.sampleInterval = 100;
+    cfg.heatmapEnabled = true;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedSweep)
+{
+    SimConfig cfg = baseCfg();
+    cfg.sched = SchedulerKind::Sweep;
+    cfg.sampleInterval = 100;
+    cfg.heatmapEnabled = true;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedEvent)
+{
+    SimConfig cfg = baseCfg();
+    cfg.sched = SchedulerKind::Event;
+    cfg.sampleInterval = 100;
+    cfg.heatmapEnabled = true;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedMidLoadCr)
+{
+    // Mid load exercises kills, retries and the give-up path, whose
+    // ledger/sink callbacks ride the deferred-stats outboxes.
+    SimConfig cfg = baseCfg();
+    cfg.injectionRate = 0.3;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedFcrWithTransientFaults)
+{
+    SimConfig cfg = baseCfg();
+    cfg.protocol = ProtocolKind::Fcr;
+    cfg.transientFaultRate = 2e-4;
+    cfg.injectionRate = 0.15;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedDynamicFaults)
+{
+    SimConfig cfg = baseCfg();
+    cfg.protocol = ProtocolKind::Fcr;
+    cfg.dynamicLinkKills = 2;
+    cfg.linkRepairAfter = 800;
+    cfg.maxRetries = 40;
+    cfg.injectionRate = 0.08;
+    cfg.sampleInterval = 200;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, ShardsMatchUnshardedDeepChannels)
+{
+    SimConfig cfg = baseCfg();
+    cfg.channelLatency = 4;
+    cfg.timeout = 32;
+    expectShardsAgree(cfg);
+}
+
+TEST(Shard, UnevenRangesAndClampToNodeCount)
+{
+    // 16 nodes / 3 shards = uneven contiguous ranges; shards above
+    // the node count clamp instead of creating empty workers.
+    SimConfig cfg = baseCfg();
+    cfg.shards = 1;
+    const RunResult one = runExperiment(cfg);
+    cfg.shards = 3;
+    const RunResult three = runExperiment(cfg);
+    cfg.shards = 64;  // > numNodes: clamps to 16.
+    const RunResult many = runExperiment(cfg);
+    expectSameResult(three, one);
+    expectSameResult(many, one);
+}
+
+TEST(Shard, TraceFilesAreByteIdentical)
+{
+    auto slurp = [](const std::string& path) {
+        std::ifstream in(path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    auto runTraced = [&](std::uint32_t shards, const std::string& tag) {
+        SimConfig cfg = baseCfg();
+        cfg.shards = shards;
+        cfg.injectionRate = 0.12;
+        cfg.warmupCycles = 100;
+        cfg.measureCycles = 600;
+        cfg.traceFile = ::testing::TempDir() + "crnet_shard_" + tag;
+        (void)runExperiment(cfg);
+        const std::string text = slurp(cfg.traceFile + ".jsonl");
+        std::remove((cfg.traceFile + ".jsonl").c_str());
+        std::remove((cfg.traceFile + ".json").c_str());
+        return text;
+    };
+    const std::string one = runTraced(1, "one");
+    const std::string two = runTraced(2, "two");
+    const std::string four = runTraced(4, "four");
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(two, one);
+    EXPECT_EQ(four, one);
+}
+
+TEST(Shard, WatchFilterAdoptionSurvivesSharding)
+{
+    // The pair-adoption path mutates the tracer's shared watch set,
+    // which is why staged events replay through record() serially.
+    auto slurp = [](const std::string& path) {
+        std::ifstream in(path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    auto runWatched = [&](std::uint32_t shards,
+                          const std::string& tag) {
+        SimConfig cfg = baseCfg();
+        cfg.shards = shards;
+        cfg.injectionRate = 0.2;
+        cfg.warmupCycles = 100;
+        cfg.measureCycles = 600;
+        cfg.watchSpec = "0-15,3-12";
+        cfg.traceFile = ::testing::TempDir() + "crnet_watch_" + tag;
+        (void)runExperiment(cfg);
+        const std::string text = slurp(cfg.traceFile + ".jsonl");
+        std::remove((cfg.traceFile + ".jsonl").c_str());
+        std::remove((cfg.traceFile + ".json").c_str());
+        return text;
+    };
+    const std::string one = runWatched(1, "one");
+    const std::string four = runWatched(4, "four");
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(four, one);
+}
+
+TEST(Shard, CampaignAggregatesMatch)
+{
+    CampaignConfig cc;
+    cc.base = baseCfg();
+    cc.base.protocol = ProtocolKind::Fcr;
+    cc.base.dynamicLinkKills = 1;
+    cc.base.maxRetries = 40;
+    cc.base.injectionRate = 0.08;
+    cc.trials = 3;
+    cc.seedBase = 7;
+
+    cc.base.shards = 1;
+    std::vector<TrialOutcome> oneTrials;
+    const CampaignSummary one = runCampaign(cc, &oneTrials);
+    cc.base.shards = 4;
+    std::vector<TrialOutcome> fourTrials;
+    const CampaignSummary four = runCampaign(cc, &fourTrials);
+
+    EXPECT_EQ(four.trials, one.trials);
+    EXPECT_EQ(four.accountedTrials, one.accountedTrials);
+    EXPECT_EQ(four.deadlockedTrials, one.deadlockedTrials);
+    EXPECT_EQ(four.accepted, one.accepted);
+    EXPECT_EQ(four.delivered, one.delivered);
+    EXPECT_EQ(four.refused, one.refused);
+    EXPECT_EQ(four.pending, one.pending);
+    EXPECT_EQ(four.duplicates, one.duplicates);
+    EXPECT_EQ(four.faultEvents, one.faultEvents);
+    EXPECT_EQ(four.deliveryRate, one.deliveryRate);
+    EXPECT_EQ(four.meanPreFaultLatency, one.meanPreFaultLatency);
+    EXPECT_EQ(four.meanPostFaultLatency, one.meanPostFaultLatency);
+    EXPECT_EQ(four.meanRecoveryCycles, one.meanRecoveryCycles);
+    EXPECT_EQ(four.maxRecoveryCycles, one.maxRecoveryCycles);
+    EXPECT_EQ(four.flitEvents, one.flitEvents);
+
+    ASSERT_EQ(fourTrials.size(), oneTrials.size());
+    for (std::size_t i = 0; i < oneTrials.size(); ++i) {
+        EXPECT_EQ(fourTrials[i].delivered, oneTrials[i].delivered);
+        EXPECT_EQ(fourTrials[i].cyclesRun, oneTrials[i].cyclesRun);
+        EXPECT_EQ(fourTrials[i].flitEvents, oneTrials[i].flitEvents);
+        EXPECT_EQ(fourTrials[i].receiverTimeouts,
+                  oneTrials[i].receiverTimeouts);
+    }
+}
+
+TEST(Shard, FingerprintIsShardAgnostic)
+{
+    SimConfig a = baseCfg();
+    SimConfig b = baseCfg();
+    a.shards = 1;
+    b.shards = 4;
+    EXPECT_EQ(configFingerprint(a), configFingerprint(b));
+}
+
+TEST(Shard, SnapshotRoundTripsAcrossShardCounts)
+{
+    // Save under shards=4, restore under shards=1 (and vice versa):
+    // the payload carries no shard state, so both continuations must
+    // end byte-identical to an uninterrupted unsharded run.
+    SimConfig cfg = baseCfg();
+    cfg.sampleInterval = 100;
+
+    auto warmed = [&](std::uint32_t shards) {
+        SimConfig c = cfg;
+        c.shards = shards;
+        auto net = std::make_unique<Network>(c);
+        net->run(400);
+        return net;
+    };
+    auto finish = [](Network& net) {
+        net.setMeasuring(false);
+        net.setTrafficEnabled(false);
+        net.run(600);
+        return captureSnapshot(net).payload;
+    };
+
+    // Uninterrupted unsharded baseline.
+    auto base = warmed(1);
+    const auto straight = finish(*base);
+
+    // shards=4 -> snapshot -> shards=1 continuation.
+    auto sharded = warmed(4);
+    const Snapshot mid = captureSnapshot(*sharded);
+    SimConfig c1 = cfg;
+    c1.shards = 1;
+    Network cont1(c1);
+    ASSERT_EQ(restoreSnapshot(cont1, mid), "");
+    const auto hopped41 = finish(cont1);
+
+    // shards=1 -> snapshot -> shards=4 continuation.
+    auto plain = warmed(1);
+    const Snapshot mid1 = captureSnapshot(*plain);
+    SimConfig c4 = cfg;
+    c4.shards = 4;
+    Network cont4(c4);
+    ASSERT_EQ(restoreSnapshot(cont4, mid1), "");
+    const auto hopped14 = finish(cont4);
+
+    EXPECT_EQ(hopped41, straight);
+    EXPECT_EQ(hopped14, straight);
+}
+
+TEST(Shard, ConfigKeyRoundTripsAndValidates)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.shards, 0u);  // 0 = resolve via CRNET_SHARDS else 1.
+    cfg.set("shards", "4");
+    EXPECT_EQ(cfg.shards, 4u);
+    cfg.shards = 2000;
+    EXPECT_DEATH(cfg.validate(), "shards");
+}
+
+} // namespace
+} // namespace crnet

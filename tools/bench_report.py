@@ -1,46 +1,54 @@
 #!/usr/bin/env python3
-"""Measure the cycle engine and emit BENCH_pr9.json.
+"""Measure the cycle engine and emit BENCH_pr10.json.
 
 Every crnet bench ends with machine-parseable footers:
 
   timing: runs=N wall_s=S sims_per_s=R flit_events=E \
-      flit_events_per_s=F jobs=J cores=C
+      flit_events_per_s=F jobs=J shards=K cores=C peak_rss_kb=M
   profile: enabled=1 runs=N warmup_s=... measure_s=... drain_s=... \
       tick_deliver_s=... tick_routers_s=... quiet_cycles=...
 
 The `profile:` footer is the self-profiler's per-phase wall-time
 attribution (docs/OBSERVABILITY.md); it is parsed into a `profile`
 dict on every leg so phase-level trends ride along with the headline
-throughput numbers.
+throughput numbers. `peak_rss_kb` (v5) is the process peak resident
+set, so memory scaling rides along too.
 
-This script runs a selection of benches four ways per bench —
+This script runs a selection of benches five ways per bench —
 
-  sweep_jobs1   exhaustive per-node scheduler, sequential
-  active_jobs1  active-set scheduler (the default), sequential
-  event_jobs1   skip-ahead event scheduler, sequential
-  active_jobsN  active-set scheduler under the parallel engine
+  sweep_jobs1    exhaustive per-node scheduler, sequential
+  active_jobs1   active-set scheduler (the default), sequential
+  event_jobs1    skip-ahead event scheduler, sequential
+  active_jobsN   active-set scheduler under the parallel engine
+  active_shards4 active-set scheduler, one run sharded 4 ways
 
 — parses the footers, checks that every leg reports identical
-flit_events (the schedulers are bit-identical and the parallel engine
-is deterministic, so any difference is a correctness bug, not noise),
-and writes a JSON report recording per-bench wall-clock, throughput,
-the scheduler speedups (active vs sweep, event vs active) and the
-parallel speedup, together with the host core count so the numbers
-are interpretable.
+flit_events (the schedulers are bit-identical and both the parallel
+engine and intra-run sharding are deterministic, so any difference is
+a correctness bug, not noise), and writes a JSON report recording
+per-bench wall-clock, throughput, peak RSS, the scheduler speedups
+(active vs sweep, event vs active), the parallel speedup and the
+shard speedup, together with the host core count so the numbers are
+interpretable.
+
+Unless --quick is given, the report also runs bench_tab_giant_scale
+once and records its scaling curve — flit-events/sec and resident
+kB/node at shards 1/2/4 across network sizes up to a 64k-node torus —
+under a top-level "giant_scale" key.
 
 With --baseline the report's headline throughput (active_jobs1, the
 default configuration) is compared against an earlier report —
-v1 (BENCH_pr3.json), v2 (BENCH_pr5.json), v3 (BENCH_pr8.json) or v4 —
-and the script fails if any bench present in both regressed by more
-than --max-regression. Phase-level comparisons (per-phase seconds per
-flit event vs a v4 baseline) are advisory: they print warnings but
-never fail the run, and a baseline from before the profiler existed
-simply skips them.
+v1 (BENCH_pr3.json), v2 (BENCH_pr5.json), v3 (BENCH_pr8.json),
+v4 (BENCH_pr9.json) or v5 — and the script fails if any bench present
+in both regressed by more than --max-regression. Phase-level
+comparisons (per-phase seconds per flit event vs a v4+ baseline) are
+advisory: they print warnings but never fail the run, and a baseline
+from before the profiler existed simply skips them.
 
 Usage:
   tools/bench_report.py [--build-dir build] [--jobs N]
-                        [--out BENCH_pr9.json] [--quick]
-                        [--baseline BENCH_pr8.json]
+                        [--out BENCH_pr10.json] [--quick]
+                        [--baseline BENCH_pr9.json]
                         [--max-regression 0.15]
 
 The default bench set covers a mid-load sweep, the dynamic-fault
@@ -56,7 +64,7 @@ import re
 import subprocess
 import sys
 
-SCHEMA = "crnet-bench-report-v4"
+SCHEMA = "crnet-bench-report-v5"
 
 # (bench binary, extra args). The overrides shrink simulated spans so
 # report generation stays cheap; all runs of one bench use identical
@@ -108,14 +116,15 @@ def parse_footer(output):
     return parse_kv(matches[-1])
 
 
-def run_bench(path, args, sched, jobs):
+def run_bench(path, args, sched, jobs, shards=1):
     """Run one bench configuration; return its parsed footer.
 
     The self-profiler footer, when present, is attached under the
     "profile" key (absent on binaries from before the profiler — the
     report degrades gracefully rather than failing).
     """
-    cmd = [path] + args + [f"sched={sched}", f"jobs={jobs}"]
+    cmd = [path] + args + [f"sched={sched}", f"jobs={jobs}",
+                           f"shards={shards}"]
     print(f"  $ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -129,6 +138,62 @@ def run_bench(path, args, sched, jobs):
     if profiles:
         footer["profile"] = parse_kv(profiles[-1])
     return footer
+
+
+def parse_csv_block(output):
+    """Parse the bench's `csv:` block into a list of row dicts."""
+    lines = output.splitlines()
+    try:
+        start = lines.index("csv:") + 1
+    except ValueError:
+        return []
+    header = None
+    rows = []
+    for line in lines[start:]:
+        if not line.strip():
+            break
+        cells = [c.strip() for c in line.split(",")]
+        if header is None:
+            header = cells
+            continue
+        row = {}
+        for key, value in zip(header, cells):
+            try:
+                row[key] = int(value)
+            except ValueError:
+                try:
+                    row[key] = float(value)
+                except ValueError:
+                    row[key] = value
+        rows.append(row)
+    return rows
+
+
+def run_giant(path):
+    """Run bench_tab_giant_scale once; return footer + scaling curve.
+
+    The curve holds one row per (network size, shard count) with
+    flit-events/sec, speedup vs shards=1 at the same size, and
+    resident kB/node — the memory and throughput scaling data behind
+    docs/PERFORMANCE.md's sharding guidance.
+    """
+    print("bench_tab_giant_scale (scaling curve):", file=sys.stderr)
+    print(f"  $ {path}", file=sys.stderr)
+    proc = subprocess.run([path], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:], file=sys.stderr)
+        print(proc.stderr[-2000:], file=sys.stderr)
+        raise SystemExit(f"{path} exited {proc.returncode}")
+    footer = parse_footer(proc.stdout)
+    if footer is None:
+        raise SystemExit(f"{path}: no 'timing:' footer in output")
+    curve = parse_csv_block(proc.stdout)
+    for row in curve:
+        if row.get("shards") == 4:
+            print(f"  {row.get('nodes'):>6} nodes: "
+                  f"{row.get('speedup')}x at 4 shards, "
+                  f"{row.get('node_kb')} kB/node", file=sys.stderr)
+    return {"timing": footer, "curve": curve}
 
 
 def print_profile_breakdown(footer):
@@ -206,11 +271,16 @@ def main():
     ap.add_argument("--jobs", type=int,
                     default=min(8, os.cpu_count() or 1),
                     help="parallel job count to compare against jobs=1")
-    ap.add_argument("--out", default="BENCH_pr9.json")
+    ap.add_argument("--out", default="BENCH_pr10.json")
     ap.add_argument("--quick", action="store_true",
                     help="shrink simulated spans for a fast report")
+    ap.add_argument("--giant", action="store_true",
+                    help="run the giant-scale curve even with --quick "
+                         "(baseline comparisons need --quick spans to "
+                         "match a --quick baseline, but the committed "
+                         "report still wants the scaling curve)")
     ap.add_argument("--baseline",
-                    help="prior report (v1-v4) to compare against")
+                    help="prior report (v1-v5) to compare against")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="max tolerated headline throughput loss "
                          "vs --baseline (fraction, default 0.15)")
@@ -244,7 +314,8 @@ def main():
         # (and at jobs=1 its dict key would collide with active_jobs1).
         activeN = (run_bench(path, args, "active", opts.jobs)
                    if opts.jobs > 1 else None)
-        footers = [sweep1, active1, event1] + (
+        activeS = run_bench(path, args, "active", 1, shards=4)
+        footers = [sweep1, active1, event1, activeS] + (
             [activeN] if activeN else [])
         events = {f["flit_events"] for f in footers}
         if len(events) != 1:
@@ -258,18 +329,25 @@ def main():
         event_speedup = (event1["flit_events_per_s"] /
                          active1["flit_events_per_s"]
                          if active1["flit_events_per_s"] else 0.0)
+        shard_speedup = (active1["wall_s"] / activeS["wall_s"]
+                         if activeS["wall_s"] > 0 else 0.0)
         report["benches"][name] = {
             "args": args,
             "sweep_jobs1": sweep1,
             "active_jobs1": active1,
             "event_jobs1": event1,
+            "active_shards4": activeS,
             "sched_speedup": round(sched_speedup, 3),
             "event_speedup": round(event_speedup, 3),
+            "shard_speedup": round(shard_speedup, 3),
         }
         print(f"  scheduler speedup (active/sweep): "
               f"{sched_speedup:.2f}x", file=sys.stderr)
         print(f"  skip-ahead speedup (event/active): "
               f"{event_speedup:.2f}x", file=sys.stderr)
+        print(f"  shard speedup at shards=4: {shard_speedup:.2f}x "
+              f"({report['cpu_cores']} core(s) available)",
+              file=sys.stderr)
         print_profile_breakdown(active1)
         if activeN is not None:
             par_speedup = (active1["wall_s"] / activeN["wall_s"]
@@ -296,6 +374,15 @@ def main():
             compare_profiles(name, active1,
                              base_bench.get("active_jobs1"),
                              opts.max_regression)
+
+    if opts.giant or not opts.quick:
+        giant = os.path.join(opts.build_dir, "bench",
+                             "bench_tab_giant_scale")
+        if os.path.exists(giant):
+            report["giant_scale"] = run_giant(giant)
+        else:
+            print("(bench_tab_giant_scale not built; skipping the "
+                  "scaling curve)", file=sys.stderr)
 
     with open(opts.out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)

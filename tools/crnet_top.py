@@ -110,12 +110,49 @@ def render(status, path):
                          f"{ev.get('kind', '?')}")
 
     metrics = status.get("metrics", {})
+    shard_lines = render_shards(metrics)
+    if shard_lines:
+        lines.append("")
+        lines.extend(shard_lines)
     if metrics:
         lines.append("")
         lines.append("telemetry:")
         for name in sorted(metrics):
+            if name.startswith("sched.shard_ticks."):
+                continue  # Summarized in the sharding section.
             lines.append(f"  {name:<32} {metrics[name]}")
     return "\n".join(lines)
+
+
+def render_shards(metrics):
+    """Summarize the intra-run sharding gauges, if any.
+
+    `sched.shard_ticks.<s>` gauges count component ticks each shard
+    worker performed; `sched.shard_barrier_wait_nanos` accumulates the
+    main thread's wait at the per-cycle barrier. A well-balanced run
+    shows near-equal tick shares; a lopsided bar means the node-range
+    split does not match where the traffic is (docs/PERFORMANCE.md).
+    """
+    ticks = {}
+    for name, value in metrics.items():
+        if name.startswith("sched.shard_ticks."):
+            try:
+                ticks[int(name.rsplit(".", 1)[1])] = value
+            except ValueError:
+                continue
+    if not ticks:
+        return []
+    lines = [f"sharding ({len(ticks)} shards):"]
+    total = sum(ticks.values())
+    for shard in sorted(ticks):
+        share = ticks[shard] / total if total else 0.0
+        bar = "#" * int(20 * share)
+        lines.append(f"  shard {shard:>3}  {ticks[shard]:>14} ticks "
+                     f"{100.0 * share:5.1f}% {bar}")
+    wait = metrics.get("sched.shard_barrier_wait_nanos")
+    if wait is not None:
+        lines.append(f"  barrier wait {wait / 1e6:.1f} ms total")
+    return lines
 
 
 def main():
